@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+corresponding rows.  By default the quick configurations (suite subsets) are
+used so the whole harness finishes in minutes on a laptop; set
+``REPRO_FULL=1`` to run the full-size experiments.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_mode() -> bool:
+    return os.environ.get("REPRO_FULL", "0") not in ("0", "", "false")
+
+
+@pytest.fixture
+def experiment_scale() -> bool:
+    """True when the full-size experiment was requested via REPRO_FULL=1."""
+    return full_mode()
+
+
+def emit(title: str, body: str) -> None:
+    print(f"\n=== {title} ===")
+    print(body)

@@ -1,0 +1,23 @@
+"""Figure 8: Precision@1 of the five diffing tools under eight obfuscations."""
+
+from repro.evaluation import figure8, matrix_table
+
+from .conftest import emit, full_mode
+
+
+def test_figure8_precision(benchmark):
+    if full_mode():
+        kwargs = {"limit_spec": None, "limit_coreutils": None}
+    else:
+        kwargs = {"limit_spec": 2, "limit_coreutils": 2}
+    report = benchmark.pedantic(lambda: figure8(**kwargs), rounds=1, iterations=1)
+    emit("Figure 8: Precision@1 per tool per obfuscation",
+         matrix_table(report.matrix(), row_title="tool"))
+
+    # shape checks: BinDiff (symbol-assisted) resists the intra-procedural
+    # baselines completely, and the strongest Khaos mode (FuFi.all) degrades
+    # every tool more than instruction substitution degrades BinDiff
+    assert report.average("BinDiff", "sub") > 0.95
+    assert report.average("BinDiff", "fufi.all") < report.average("BinDiff", "sub")
+    for tool in report.tools():
+        assert 0.0 <= report.average(tool, "fufi.all") <= 1.0

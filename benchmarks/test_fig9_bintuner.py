@@ -1,0 +1,27 @@
+"""Figure 9: BinDiff similarity score, BinTuner vs Khaos (FuFi.all), O0-O3."""
+
+from repro.evaluation import figure9, format_table
+
+from .conftest import emit, full_mode
+
+
+def test_figure9_bintuner_vs_khaos(benchmark):
+    limit = None if full_mode() else 2
+    report = benchmark.pedantic(
+        lambda: figure9(limit=limit, tuner_iterations=4), rounds=1, iterations=1)
+
+    rows = []
+    for protection in ("bintuner", "khaos"):
+        for level in (0, 1, 2, 3):
+            rows.append([protection, f"O{level}",
+                         report.similarity(protection, level)])
+    rows.append(["bintuner overhead vs O2+LTO", "",
+                 f"{report.bintuner_overhead_percent:.1f}%"])
+    emit("Figure 9: BinDiff similarity score (lower = better hiding)",
+         format_table(["protection", "reference build", "similarity"], rows))
+
+    # the paper's claim: Khaos produces binaries much less similar to any
+    # optimization level than iterative compilation does
+    for level in (0, 1, 2, 3):
+        assert (report.similarity("khaos", level)
+                <= report.similarity("bintuner", level) + 0.05)

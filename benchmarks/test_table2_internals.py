@@ -1,0 +1,23 @@
+"""Table 2: statistics of the fission and the fusion primitives."""
+
+from repro.evaluation import matrix_table, table2
+
+from .conftest import emit, full_mode
+
+
+def test_table2_fission_fusion_statistics(benchmark):
+    limit = None if full_mode() else 3
+    report = benchmark.pedantic(lambda: table2(limit=limit),
+                                rounds=1, iterations=1)
+    emit("Table 2: statistics of the fission and the fusion",
+         matrix_table(report.as_table(), row_title="suite"))
+
+    for suite, row in report.rows.items():
+        # the paper reports fission ratios above 100% and fusion ratios of
+        # 97-99%; the synthetic programs are smaller, so only the qualitative
+        # properties are asserted: fission splits a substantial fraction and
+        # fusion aggregates the large majority of candidates
+        assert row.fission_ratio > 0.2, suite
+        assert row.fusion_ratio > 0.7, suite
+        assert row.avg_sepfunc_blocks >= 2.0, suite
+        assert 0.0 < row.reduction_ratio <= 1.0, suite

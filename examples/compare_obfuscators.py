@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Compare O-LLVM-style obfuscations against the Khaos modes on one program.
+
+Reports, for each obfuscation label, the runtime overhead (Figure 6/7 metric),
+the BinDiff and Asm2Vec Precision@1 (Figure 8 metric) and the normalised
+opcode-histogram distance (Figure 11 metric) for the synthetic `458.sjeng`
+workload.
+"""
+
+from repro.backend import opcode_histogram_distance
+from repro.diffing import Asm2Vec, BinDiff, precision_at_1
+from repro.evaluation import format_table
+from repro.toolchain import (ALL_LABELS, build_baseline, build_obfuscated,
+                             obfuscator_for, overhead_percent)
+from repro.workloads import find_program
+
+
+def main() -> None:
+    workload = find_program("458.sjeng")
+    baseline = build_baseline(workload.build(), run=True)
+    bindiff, asm2vec = BinDiff(), Asm2Vec()
+
+    rows = []
+    distances = {}
+    for label in ALL_LABELS:
+        variant = build_obfuscated(workload.build(), obfuscator_for(label),
+                                   run=True)
+        assert (variant.execution.observable()
+                == baseline.execution.observable()), label
+        distances[label] = opcode_histogram_distance(baseline.binary,
+                                                     variant.binary)
+        rows.append([
+            label,
+            f"{overhead_percent(baseline, variant):.1f}%",
+            f"{precision_at_1(bindiff.diff(baseline.binary, variant.binary), variant.provenance):.2f}",
+            f"{precision_at_1(asm2vec.diff(baseline.binary, variant.binary), variant.provenance):.2f}",
+        ])
+
+    maximum = max(distances.values()) or 1.0
+    for row, label in zip(rows, ALL_LABELS):
+        row.append(f"{distances[label] / maximum:.2f}")
+
+    print(f"program: {workload.name} "
+          f"({len(baseline.binary.functions)} functions in the baseline binary)\n")
+    print(format_table(
+        ["obfuscation", "overhead", "BinDiff p@1", "Asm2Vec p@1",
+         "opcode distance (normalised)"], rows))
+    print("\nLower precision@1 and higher opcode distance mean better "
+          "protection; lower overhead means cheaper protection.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Reproduction of *Khaos: The Impact of Inter-procedural Code Obfuscation on
+Binary Diffing Techniques* (CGO 2023).
+
+The package is organised exactly like the system described in the paper:
+
+* :mod:`repro.ir`, :mod:`repro.analysis`, :mod:`repro.opt`, :mod:`repro.backend`
+  and :mod:`repro.vm` form the compiler substrate (the stand-in for LLVM and
+  for native execution);
+* :mod:`repro.core` is Khaos itself — the fission and fusion primitives plus
+  the FuFi combination modes;
+* :mod:`repro.baselines` are the comparison targets (O-LLVM's Sub/Bog/Fla and
+  BinTuner);
+* :mod:`repro.diffing` re-implements the five confronted binary diffing tools;
+* :mod:`repro.workloads` synthesises the SPEC / CoreUtils / embedded test
+  suites; and
+* :mod:`repro.evaluation` regenerates every table and figure of the paper.
+
+Quickstart::
+
+    from repro.workloads import find_program
+    from repro.toolchain import build_baseline, build_obfuscated, obfuscator_for
+    from repro.diffing import BinDiff, precision_at_1
+
+    workload = find_program("401.bzip2")
+    baseline = build_baseline(workload.build(), run=True)
+    khaos = build_obfuscated(workload.build(), obfuscator_for("fufi.ori"), run=True)
+    result = BinDiff().diff(baseline.binary, khaos.binary)
+    print(precision_at_1(result, khaos.provenance))
+"""
+
+__version__ = "0.1.0"
+
+from .utils import geometric_mean, stable_hash
+
+__all__ = ["geometric_mean", "stable_hash", "__version__"]

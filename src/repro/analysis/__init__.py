@@ -1,0 +1,20 @@
+"""Static analyses: CFG, dominators, loops, block frequency, def-use, call graph,
+and the memory-effect (innocuous block) analysis used by deep fusion."""
+
+from .cfg import ControlFlowGraph
+from .dominators import DominatorTree
+from .loops import Loop, LoopInfo, DEFAULT_TRIP_COUNT
+from .block_frequency import BlockFrequency
+from .defuse import DefUse, allocas_only_used_in, region_inputs, region_outputs
+from .callgraph import CallGraph, program_call_graph
+from .memory_effects import (count_innocuous_blocks, innocuous_blocks,
+                             is_innocuous_block, is_innocuous_instruction,
+                             trace_pointer_base)
+
+__all__ = [
+    "ControlFlowGraph", "DominatorTree", "Loop", "LoopInfo",
+    "DEFAULT_TRIP_COUNT", "BlockFrequency", "DefUse", "allocas_only_used_in",
+    "region_inputs", "region_outputs", "CallGraph", "program_call_graph",
+    "count_innocuous_blocks", "innocuous_blocks", "is_innocuous_block",
+    "is_innocuous_instruction", "trace_pointer_base",
+]

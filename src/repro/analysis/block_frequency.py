@@ -1,0 +1,68 @@
+"""Static block-frequency estimation.
+
+A lightweight stand-in for LLVM's BlockFrequency analysis: the entry block has
+frequency 1.0, conditional branches split their frequency evenly among
+successors, and loop bodies are scaled by the loop's static trip count.  The
+fission region-identification algorithm (Algorithm 1) uses these frequencies
+as the cut *cost* to steer separation toward cold code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from .cfg import ControlFlowGraph
+from .loops import LoopInfo
+
+
+class BlockFrequency:
+    def __init__(self, function: Function,
+                 cfg: Optional[ControlFlowGraph] = None,
+                 loops: Optional[LoopInfo] = None):
+        self.function = function
+        self.cfg = cfg or ControlFlowGraph(function)
+        self.loops = loops or LoopInfo(function, self.cfg)
+        self.frequency: Dict[BasicBlock, float] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        # Propagate frequencies along the acyclic condensation in reverse
+        # post-order; back edges are ignored and replaced by multiplying each
+        # block by trip_count ** loop_depth afterwards.
+        rpo = self.cfg.reverse_post_order()
+        order_index = {id(b): i for i, b in enumerate(rpo)}
+        freq: Dict[BasicBlock, float] = {b: 0.0 for b in rpo}
+        freq[self.cfg.entry] = 1.0
+
+        for block in rpo:
+            out = freq[block]
+            succs = self.cfg.successors.get(block, [])
+            forward = [s for s in succs
+                       if order_index.get(id(s), -1) > order_index[id(block)]]
+            if not forward:
+                continue
+            share = out / len(succs) if succs else 0.0
+            for succ in forward:
+                freq[succ] = freq.get(succ, 0.0) + share
+
+        for block in rpo:
+            loop = self.loops.innermost_loop(block)
+            multiplier = 1.0
+            while loop is not None:
+                multiplier *= loop.trip_count
+                loop = loop.parent
+            self.frequency[block] = max(freq.get(block, 0.0), 1e-6) * multiplier
+
+        # blocks unreachable from the entry get a tiny non-zero frequency so
+        # ratios remain well defined
+        for block in self.function.blocks:
+            self.frequency.setdefault(block, 1e-6)
+
+    def get(self, block: BasicBlock) -> float:
+        return self.frequency.get(block, 1e-6)
+
+    def is_cold(self, block: BasicBlock, threshold: float = 0.5) -> bool:
+        """Heuristically cold: executed less often than ``threshold`` per call."""
+        return self.get(block) < threshold

@@ -1,0 +1,85 @@
+"""Call-graph construction over a module or program.
+
+Used by the fusion pass (functions with a direct calling relationship are not
+aggregated), by the inliner, and by the diffing tools that extract call-graph
+features (BinDiff, VulSeeker, DeepBinDiff — see Table 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..ir.function import Function
+from ..ir.instructions import Call
+from ..ir.module import Module, Program
+from ..ir.values import Value
+
+
+class CallGraph:
+    def __init__(self, module: Module):
+        self.module = module
+        self.callees: Dict[str, Set[str]] = {}
+        self.callers: Dict[str, Set[str]] = {}
+        self.direct_call_counts: Dict[str, int] = {}
+        self.indirect_call_counts: Dict[str, int] = {}
+        self.address_taken: Set[str] = set()
+        self._compute()
+
+    def _compute(self) -> None:
+        for function in self.module.functions.values():
+            name = function.name
+            self.callees.setdefault(name, set())
+            self.callers.setdefault(name, set())
+            self.direct_call_counts[name] = 0
+            self.indirect_call_counts[name] = 0
+            if function.is_declaration:
+                continue
+            for inst in function.instructions():
+                if isinstance(inst, Call):
+                    callee = inst.callee
+                    if isinstance(callee, Function):
+                        self.direct_call_counts[name] += 1
+                        self.callees[name].add(callee.name)
+                        self.callers.setdefault(callee.name, set()).add(name)
+                    else:
+                        self.indirect_call_counts[name] += 1
+                # any non-call use of a function value means its address escapes
+                for op in (inst.operands if not isinstance(inst, Call)
+                           else inst.operands[1:]):
+                    if isinstance(op, Function):
+                        self.address_taken.add(op.name)
+
+    # -- queries ------------------------------------------------------------------
+
+    def calls(self, caller: str, callee: str) -> bool:
+        return callee in self.callees.get(caller, set())
+
+    def directly_related(self, a: str, b: str) -> bool:
+        """True if either function directly calls the other."""
+        return self.calls(a, b) or self.calls(b, a)
+
+    def callee_names(self, name: str) -> Set[str]:
+        return set(self.callees.get(name, set()))
+
+    def caller_names(self, name: str) -> Set[str]:
+        return set(self.callers.get(name, set()))
+
+    def is_address_taken(self, name: str) -> bool:
+        return name in self.address_taken
+
+    def out_degree(self, name: str) -> int:
+        return len(self.callees.get(name, set()))
+
+    def in_degree(self, name: str) -> int:
+        return len(self.callers.get(name, set()))
+
+    def edges(self) -> List[Tuple[str, str]]:
+        return [(caller, callee)
+                for caller, callees in self.callees.items()
+                for callee in sorted(callees)]
+
+
+def program_call_graph(program: Program) -> CallGraph:
+    """Call graph of a (linked) program; convenience for single-module programs."""
+    linked = program if len(program.modules) == 1 else program.link()
+    return CallGraph(linked.modules[0])

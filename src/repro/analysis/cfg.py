@@ -1,0 +1,77 @@
+"""Control-flow graph utilities over :class:`~repro.ir.function.Function`."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+
+
+class ControlFlowGraph:
+    """Successor/predecessor maps plus common traversals for one function."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.successors: Dict[BasicBlock, List[BasicBlock]] = {}
+        self.predecessors: Dict[BasicBlock, List[BasicBlock]] = {}
+        for block in function.blocks:
+            self.successors[block] = list(block.successors())
+            self.predecessors.setdefault(block, [])
+        for block in function.blocks:
+            for succ in self.successors[block]:
+                self.predecessors.setdefault(succ, []).append(block)
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.function.entry_block
+
+    def reachable_blocks(self) -> List[BasicBlock]:
+        """Blocks reachable from the entry, in depth-first preorder."""
+        seen: Set[int] = set()
+        order: List[BasicBlock] = []
+        stack = [self.entry]
+        while stack:
+            block = stack.pop()
+            if id(block) in seen:
+                continue
+            seen.add(id(block))
+            order.append(block)
+            for succ in reversed(self.successors.get(block, [])):
+                if id(succ) not in seen:
+                    stack.append(succ)
+        return order
+
+    def unreachable_blocks(self) -> List[BasicBlock]:
+        reachable = {id(b) for b in self.reachable_blocks()}
+        return [b for b in self.function.blocks if id(b) not in reachable]
+
+    def reverse_post_order(self) -> List[BasicBlock]:
+        seen: Set[int] = set()
+        post: List[BasicBlock] = []
+
+        def visit(block: BasicBlock) -> None:
+            stack = [(block, iter(self.successors.get(block, [])))]
+            seen.add(id(block))
+            while stack:
+                current, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if id(succ) not in seen:
+                        seen.add(id(succ))
+                        stack.append((succ, iter(self.successors.get(succ, []))))
+                        advanced = True
+                        break
+                if not advanced:
+                    post.append(current)
+                    stack.pop()
+
+        visit(self.entry)
+        return list(reversed(post))
+
+    def edge_count(self) -> int:
+        return sum(len(s) for s in self.successors.values())
+
+    def exit_blocks(self) -> List[BasicBlock]:
+        """Blocks whose terminator leaves the function (ret / unreachable)."""
+        return [b for b in self.function.blocks if not self.successors.get(b)]

@@ -1,0 +1,109 @@
+"""Def-use information and region input/output analysis.
+
+The fission data-flow rebuild needs to know, for a candidate region, which
+values defined outside are used inside (region *inputs*) and which allocas are
+only ever touched inside the region (candidates for the paper's lazy-allocation
+data-flow reduction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Alloca, Instruction
+from ..ir.values import Argument, Constant, GlobalVariable, UndefValue, Value
+
+
+class DefUse:
+    """Map every instruction/argument to the instructions that use it."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.users: Dict[int, List[Instruction]] = {}
+        self._values: Dict[int, Value] = {}
+        for inst in function.instructions():
+            for op in inst.operands:
+                if isinstance(op, (Instruction, Argument)):
+                    self.users.setdefault(id(op), []).append(inst)
+                    self._values[id(op)] = op
+
+    def uses_of(self, value: Value) -> List[Instruction]:
+        return list(self.users.get(id(value), []))
+
+    def is_used(self, value: Value) -> bool:
+        return bool(self.users.get(id(value)))
+
+
+def region_inputs(region: Iterable[BasicBlock]) -> List[Value]:
+    """Values defined outside the region but used inside it.
+
+    Constants, globals and function references are free to rematerialise and
+    are not counted as inputs; arguments and instructions defined outside the
+    region are.
+    """
+    region_blocks = set(id(b) for b in region)
+    defined_inside: Set[int] = set()
+    for block in region:
+        for inst in block.instructions:
+            defined_inside.add(id(inst))
+
+    inputs: List[Value] = []
+    seen: Set[int] = set()
+    for block in region:
+        for inst in block.instructions:
+            for op in inst.operands:
+                if isinstance(op, (Constant, GlobalVariable, UndefValue)):
+                    continue
+                if isinstance(op, Instruction):
+                    if id(op) in defined_inside:
+                        continue
+                elif not isinstance(op, Argument):
+                    continue
+                if id(op) not in seen:
+                    seen.add(id(op))
+                    inputs.append(op)
+    return inputs
+
+
+def region_outputs(function: Function, region: Iterable[BasicBlock]) -> List[Instruction]:
+    """Instructions defined inside the region with uses outside of it."""
+    region_blocks = {id(b) for b in region}
+    defined_inside = {}
+    for block in region:
+        for inst in block.instructions:
+            defined_inside[id(inst)] = inst
+
+    outputs: List[Instruction] = []
+    seen: Set[int] = set()
+    for block in function.blocks:
+        if id(block) in region_blocks:
+            continue
+        for inst in block.instructions:
+            for op in inst.operands:
+                if id(op) in defined_inside and id(op) not in seen:
+                    seen.add(id(op))
+                    outputs.append(defined_inside[id(op)])
+    return outputs
+
+
+def allocas_only_used_in(function: Function,
+                         region: Iterable[BasicBlock]) -> List[Alloca]:
+    """Entry-block allocas whose every use lies inside ``region``.
+
+    These are the locals that the fission's lazy-allocation optimisation can
+    move into the sepFunc instead of passing a pointer parameter.
+    """
+    region_blocks = {id(b) for b in region}
+    defuse = DefUse(function)
+    result: List[Alloca] = []
+    for inst in function.entry_block.instructions:
+        if not isinstance(inst, Alloca):
+            continue
+        if id(inst.parent) in region_blocks:
+            continue
+        uses = defuse.uses_of(inst)
+        if uses and all(id(u.parent) in region_blocks for u in uses):
+            result.append(inst)
+    return result

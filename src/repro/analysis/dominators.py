@@ -1,0 +1,102 @@
+"""Dominator-tree analysis (Cooper/Harvey/Kennedy iterative algorithm).
+
+The fission primitive partitions a function along dominator trees: "as long as
+a code region is a dominator tree on the control flow graph, it can be
+extracted into a sepFunc" (Khaos, section 3.2.1).  :class:`DominatorTree`
+exposes the immediate-dominator relation, dominance queries and the *dominated
+region* of every block (the candidate regions of Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from .cfg import ControlFlowGraph
+
+
+class DominatorTree:
+    def __init__(self, function: Function, cfg: Optional[ControlFlowGraph] = None):
+        self.function = function
+        self.cfg = cfg or ControlFlowGraph(function)
+        self.idom: Dict[BasicBlock, Optional[BasicBlock]] = {}
+        self.children: Dict[BasicBlock, List[BasicBlock]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        rpo = self.cfg.reverse_post_order()
+        index = {id(b): i for i, b in enumerate(rpo)}
+        entry = self.cfg.entry
+        idom: Dict[int, BasicBlock] = {id(entry): entry}
+
+        def intersect(b1: BasicBlock, b2: BasicBlock) -> BasicBlock:
+            finger1, finger2 = b1, b2
+            while finger1 is not finger2:
+                while index[id(finger1)] > index[id(finger2)]:
+                    finger1 = idom[id(finger1)]
+                while index[id(finger2)] > index[id(finger1)]:
+                    finger2 = idom[id(finger2)]
+            return finger1
+
+        changed = True
+        while changed:
+            changed = False
+            for block in rpo:
+                if block is entry:
+                    continue
+                preds = [p for p in self.cfg.predecessors.get(block, [])
+                         if id(p) in index]
+                processed = [p for p in preds if id(p) in idom]
+                if not processed:
+                    continue
+                new_idom = processed[0]
+                for p in processed[1:]:
+                    new_idom = intersect(p, new_idom)
+                if idom.get(id(block)) is not new_idom:
+                    idom[id(block)] = new_idom
+                    changed = True
+
+        self.idom = {}
+        self.children = {b: [] for b in rpo}
+        for block in rpo:
+            if block is entry:
+                self.idom[block] = None
+                continue
+            dominator = idom.get(id(block))
+            self.idom[block] = dominator
+            if dominator is not None:
+                self.children.setdefault(dominator, []).append(block)
+        self._rpo = rpo
+
+    # -- queries ------------------------------------------------------------------
+
+    def blocks(self) -> List[BasicBlock]:
+        """Reachable blocks in reverse post-order."""
+        return list(self._rpo)
+
+    def immediate_dominator(self, block: BasicBlock) -> Optional[BasicBlock]:
+        return self.idom.get(block)
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if ``a`` dominates ``b`` (reflexively)."""
+        current: Optional[BasicBlock] = b
+        while current is not None:
+            if current is a:
+                return True
+            current = self.idom.get(current)
+        return False
+
+    def dominated_region(self, root: BasicBlock) -> List[BasicBlock]:
+        """All blocks dominated by ``root`` (the dominator subtree), preorder."""
+        region: List[BasicBlock] = []
+        stack = [root]
+        while stack:
+            block = stack.pop()
+            region.append(block)
+            stack.extend(reversed(self.children.get(block, [])))
+        return region
+
+    def subtrees(self) -> Dict[BasicBlock, List[BasicBlock]]:
+        """Map every reachable block to its dominator subtree."""
+        return {b: self.dominated_region(b) for b in self._rpo}

@@ -1,0 +1,81 @@
+"""Memory-effect analysis used by deep fusion.
+
+The deep fusion step aggregates *innocuous* basic blocks from the two fused
+functions: blocks whose execution "does not affect the global memory state"
+(Khaos, section 3.3.4).  The analysis here is deliberately conservative, in
+the same way the paper describes:
+
+* a store through a pointer that cannot be proven to target a local alloca of
+  the enclosing function makes the block non-innocuous;
+* a call to an external or unknown function makes the block non-innocuous
+  (known pure intrinsics are allowed);
+* everything else (arithmetic, loads, local stores) is innocuous.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (Alloca, Call, GetElementPtr, Instruction, Load,
+                               Store, Cast)
+from ..ir.values import Argument, GlobalVariable, Value
+
+# Intrinsics and libc-style helpers that the VM models as side-effect free.
+PURE_INTRINSICS = {
+    "abs", "labs", "min", "max", "strlen_model", "llvm.ctpop",
+}
+
+# Intrinsics with side effects that are still *local* to the caller's frame.
+FRAME_LOCAL_INTRINSICS: Set[str] = set()
+
+
+def trace_pointer_base(value: Value) -> Optional[Value]:
+    """Follow GEP/cast chains back to the underlying allocation, if obvious."""
+    current = value
+    while True:
+        if isinstance(current, GetElementPtr):
+            current = current.pointer
+        elif isinstance(current, Cast):
+            current = current.value
+        else:
+            return current
+
+
+def store_targets_local(function: Function, store: Store) -> bool:
+    """True if the store provably writes an alloca belonging to ``function``."""
+    base = trace_pointer_base(store.pointer)
+    if isinstance(base, Alloca):
+        return base.parent is not None and base.parent.parent is function
+    return False
+
+
+def is_innocuous_instruction(function: Function, inst: Instruction) -> bool:
+    if isinstance(inst, Store):
+        return store_targets_local(function, inst)
+    if isinstance(inst, Call):
+        callee = inst.callee
+        callee_name = getattr(callee, "name", None)
+        if callee_name in PURE_INTRINSICS:
+            return True
+        return False
+    # loads, arithmetic, comparisons, casts, allocas and terminators neither
+    # write global memory nor transfer control outside the function
+    return True
+
+
+def is_innocuous_block(function: Function, block: BasicBlock) -> bool:
+    """A block is innocuous if re-executing it cannot change global state."""
+    return all(is_innocuous_instruction(function, inst)
+               for inst in block.non_terminator_instructions())
+
+
+def innocuous_blocks(function: Function) -> List[BasicBlock]:
+    if function.is_declaration:
+        return []
+    return [b for b in function.blocks if is_innocuous_block(function, b)]
+
+
+def count_innocuous_blocks(function: Function) -> int:
+    return len(innocuous_blocks(function))

@@ -1,0 +1,17 @@
+"""Backend: lowering to a virtual x86-64-flavoured ISA and Binary containers."""
+
+from .isa import (ARG_REGISTERS, MachineBlock, MachineInstruction,
+                  RETURN_REGISTER, instruction_category)
+from .binary import Binary, BinaryFunction
+from .lowering import lower_function, lower_module, lower_program
+from .disassembler import (disassemble, function_opcode_histogram,
+                           normalised_distances, opcode_histogram,
+                           opcode_histogram_distance)
+
+__all__ = [
+    "ARG_REGISTERS", "MachineBlock", "MachineInstruction", "RETURN_REGISTER",
+    "instruction_category", "Binary", "BinaryFunction", "lower_function",
+    "lower_module", "lower_program", "disassemble",
+    "function_opcode_histogram", "normalised_distances", "opcode_histogram",
+    "opcode_histogram_distance",
+]

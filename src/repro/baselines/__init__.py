@@ -1,0 +1,14 @@
+"""Comparison targets: O-LLVM (Sub / Bog / Fla) and BinTuner."""
+
+from .substitution import InstructionSubstitution
+from .bogus_cfg import BogusControlFlow
+from .flattening import ControlFlowFlattening
+from .ollvm import (OLLVMObfuscator, bogus_obfuscator, flattening_obfuscator,
+                    standard_ollvm_baselines, sub_obfuscator)
+from .bintuner import BinTuner, BinTunerResult
+
+__all__ = [
+    "InstructionSubstitution", "BogusControlFlow", "ControlFlowFlattening",
+    "OLLVMObfuscator", "bogus_obfuscator", "flattening_obfuscator",
+    "standard_ollvm_baselines", "sub_obfuscator", "BinTuner", "BinTunerResult",
+]

@@ -1,0 +1,121 @@
+"""O-LLVM-style bogus control flow (the paper's *Bog* baseline).
+
+Each selected basic block is guarded by an opaque predicate that is always
+true at runtime (``(x * (x + 1)) % 2 == 0`` for the value loaded from an
+opaque global).  The false arm jumps to a junk block containing dead
+arithmetic that finally falls back into the real code, so the CFG gains bogus
+blocks and edges without changing behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (Alloca, BinaryOp, Branch, Compare, CondBranch,
+                               Instruction, Load, Store)
+from ..ir.module import Module, Program
+from ..ir.types import I64
+from ..ir.values import Constant, GlobalVariable
+from ..opt.pass_manager import ModulePass
+from ..utils import stable_hash
+
+OPAQUE_GLOBAL_NAME = "__bogus_opaque_x"
+
+
+class BogusControlFlow(ModulePass):
+    """The *Bog* baseline; ``ratio`` selects which blocks get a bogus guard."""
+
+    name = "ollvm-bogus-cfg"
+
+    def __init__(self, ratio: float = 1.0, seed: int = 2):
+        self.ratio = ratio
+        self.seed = seed
+
+    def run_on_module(self, module: Module) -> bool:
+        opaque = module.get_global(OPAQUE_GLOBAL_NAME)
+        if opaque is None:
+            opaque = GlobalVariable(OPAQUE_GLOBAL_NAME, I64, initializer=7)
+            module.add_global(opaque)
+
+        changed = False
+        for function in module.defined_functions():
+            if function.attributes.get("no_obfuscate"):
+                continue
+            # O-LLVM's BogusControlFlow skips exception-relevant functions
+            if function.eh_pairs:
+                continue
+            changed |= self._run_on_function(function, opaque)
+        return changed
+
+    def _run_on_function(self, function: Function,
+                         opaque: GlobalVariable) -> bool:
+        rng = random.Random(stable_hash(self.seed, function.name))
+        changed = False
+        for block in list(function.blocks):
+            if block is function.entry_block:
+                continue
+            if rng.random() > self.ratio:
+                continue
+            self._guard_block(function, block, opaque, rng)
+            changed = True
+        return changed
+
+    def _guard_block(self, function: Function, block: BasicBlock,
+                     opaque: GlobalVariable, rng: random.Random) -> None:
+        guard = function.add_block(f"{block.name}.guard", before=block)
+        junk = function.add_block(f"{block.name}.junk")
+
+        # opaque predicate: x * (x + 1) is always even
+        x = Load(opaque, name=f"{block.name}.x")
+        x_plus = BinaryOp("add", x, Constant(I64, 1), name=f"{block.name}.x1")
+        product = BinaryOp("mul", x, x_plus, name=f"{block.name}.xx1")
+        parity = BinaryOp("and", product, Constant(I64, 1),
+                          name=f"{block.name}.par")
+        predicate = Compare("eq", parity, Constant(I64, 0),
+                            name=f"{block.name}.opq")
+        for inst in (x, x_plus, product, parity, predicate):
+            guard.append(inst)
+        guard.append(CondBranch(predicate, block, junk))
+
+        # junk block: dead arithmetic into a scratch alloca, then "fall" into
+        # the real block so the bogus path looks plausible
+        scratch = Alloca(I64, name=f"{block.name}.scratch")
+        function.entry_block.insert(0, scratch)
+        junk_value = BinaryOp("mul", x, Constant(I64, rng.randint(3, 97)),
+                              name=f"{block.name}.junkv")
+        junk_sum = BinaryOp("add", junk_value, Constant(I64, rng.randint(1, 255)),
+                            name=f"{block.name}.junks")
+        junk.append(junk_value)
+        junk.append(junk_sum)
+        junk.append(Store(junk_sum, scratch))
+        junk.append(Branch(block))
+
+        # every edge that used to enter the block now enters the guard (except
+        # the guard itself and the junk block, which must still reach the block)
+        self._retarget(function, block, guard, skip=(guard, junk))
+
+    @staticmethod
+    def _retarget(function: Function, old: BasicBlock, new: BasicBlock,
+                  skip=()) -> None:
+        from ..ir.instructions import Switch
+        skip_ids = {id(b) for b in skip} | {id(new)}
+        for candidate in function.blocks:
+            if id(candidate) in skip_ids:
+                continue
+            term = candidate.terminator
+            if term is None:
+                continue
+            if isinstance(term, Branch) and term.target is old:
+                term.target = new
+            elif isinstance(term, CondBranch):
+                if term.true_target is old:
+                    term.true_target = new
+                if term.false_target is old:
+                    term.false_target = new
+            elif isinstance(term, Switch):
+                if term.default_target is old:
+                    term.default_target = new
+                term.cases = [(c, new if t is old else t) for c, t in term.cases]

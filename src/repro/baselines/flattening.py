@@ -1,0 +1,119 @@
+"""O-LLVM-style control-flow flattening (the paper's *Fla* baseline).
+
+Every original basic block of a flattened function becomes a case of a big
+dispatcher ``switch`` driven by a state variable: terminators no longer jump
+to each other, they store the next state and return to the dispatcher.  The
+case numbering is lightly "encrypted" (XOR with a per-function key) to mimic
+O-LLVM's obfuscated case relationship.
+
+Because flattening is expensive (the paper measures a ~280% slowdown at 100%
+ratio and therefore evaluates *Fla-10*, a 10% ratio), the pass takes a
+``ratio`` argument that selects the fraction of functions to flatten.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (Alloca, Branch, CondBranch, Instruction, Ret,
+                               Select, Store, Switch, Unreachable)
+from ..ir.module import Module
+from ..ir.types import I64
+from ..ir.values import Constant
+from ..opt.pass_manager import ModulePass
+
+
+class ControlFlowFlattening(ModulePass):
+    """The *Fla* baseline; ``ratio`` = fraction of eligible functions flattened."""
+
+    name = "ollvm-flattening"
+
+    def __init__(self, ratio: float = 1.0, seed: int = 3):
+        self.ratio = ratio
+        self.seed = seed
+
+    def run_on_module(self, module: Module) -> bool:
+        rng = random.Random(self.seed)
+        eligible = [f for f in module.defined_functions()
+                    if f.block_count() >= 3
+                    and not f.attributes.get("no_obfuscate")
+                    and not f.eh_pairs]        # O-LLVM skips EH functions
+        rng.shuffle(eligible)
+        count = max(1, round(len(eligible) * self.ratio)) if eligible else 0
+        changed = False
+        for function in eligible[:count]:
+            changed |= self._flatten(function, rng)
+        return changed
+
+    def _flatten(self, function: Function, rng: random.Random) -> bool:
+        original_blocks = [b for b in function.blocks if b is not function.entry_block]
+        if len(original_blocks) < 2:
+            return False
+        key = rng.randrange(1, 1 << 16)
+        state_of: Dict[int, int] = {
+            id(block): (index + 1) ^ key
+            for index, block in enumerate(original_blocks)}
+
+        entry = function.entry_block
+        state_slot = Alloca(I64, name="fla.state")
+        entry.insert(0, state_slot)
+
+        dispatcher = function.add_block("fla.dispatch")
+        default_block = function.add_block("fla.unreachable")
+        default_block.append(Unreachable())
+
+        # the entry's terminator now seeds the state and jumps to the dispatcher
+        self._rewrite_terminator(entry, state_slot, state_of, dispatcher)
+
+        load_state = self._make_state_load(dispatcher, state_slot)
+        switch = Switch(load_state, default_block)
+        for block in original_blocks:
+            switch.add_case(Constant(I64, state_of[id(block)]), block)
+        dispatcher.append(switch)
+
+        for block in original_blocks:
+            self._rewrite_terminator(block, state_slot, state_of, dispatcher)
+
+        function.attributes["ollvm_flattened"] = True
+        return True
+
+    @staticmethod
+    def _make_state_load(dispatcher: BasicBlock, state_slot: Alloca):
+        from ..ir.instructions import Load
+        load = Load(state_slot, name="fla.state.load")
+        dispatcher.append(load)
+        return load
+
+    def _rewrite_terminator(self, block: BasicBlock, state_slot: Alloca,
+                            state_of: Dict[int, int],
+                            dispatcher: BasicBlock) -> None:
+        term = block.terminator
+        if term is None or isinstance(term, (Ret, Unreachable)):
+            return
+        if isinstance(term, Branch):
+            target_state = state_of.get(id(term.target))
+            if target_state is None:
+                return
+            block.remove(term)
+            block.append(Store(Constant(I64, target_state), state_slot))
+            block.append(Branch(dispatcher))
+            return
+        if isinstance(term, CondBranch):
+            true_state = state_of.get(id(term.true_target))
+            false_state = state_of.get(id(term.false_target))
+            if true_state is None or false_state is None:
+                return
+            block.remove(term)
+            chosen = Select(term.condition, Constant(I64, true_state),
+                            Constant(I64, false_state), name="fla.next")
+            block.append(chosen)
+            block.append(Store(chosen, state_slot))
+            block.append(Branch(dispatcher))
+            return
+        if isinstance(term, Switch):
+            # leave original switches in place; their targets keep working
+            # because the case blocks themselves still exist
+            return

@@ -1,0 +1,118 @@
+"""O-LLVM-style instruction substitution (the paper's *Sub* baseline).
+
+Replaces integer arithmetic/logic instructions with equivalent but longer
+sequences, following the strategies catalogued for Obfuscator-LLVM: e.g.
+``a + b`` becomes ``a - (0 - b)``, ``a ^ b`` becomes ``(a | b) - (a & b)``.
+This is a purely intra-procedural transformation, which is exactly why the
+paper finds it weak against modern binary diffing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import BinaryOp, Instruction
+from ..ir.values import Constant, Value
+from ..opt.pass_manager import FunctionPass
+from ..utils import stable_hash
+
+
+def _sub_add(block: BasicBlock, position: int, inst: BinaryOp) -> List[Instruction]:
+    # a + b  ->  a - (0 - b)
+    neg = BinaryOp("sub", Constant(inst.type, 0), inst.rhs, name=f"{inst.name}.neg")
+    add = BinaryOp("sub", inst.lhs, neg, name=inst.name)
+    return [neg, add]
+
+
+def _sub_add_v2(block: BasicBlock, position: int, inst: BinaryOp) -> List[Instruction]:
+    # a + b  ->  (a ^ b) + 2*(a & b)
+    xor = BinaryOp("xor", inst.lhs, inst.rhs, name=f"{inst.name}.x")
+    anded = BinaryOp("and", inst.lhs, inst.rhs, name=f"{inst.name}.a")
+    doubled = BinaryOp("shl", anded, Constant(inst.type, 1), name=f"{inst.name}.d")
+    total = BinaryOp("add", xor, doubled, name=inst.name)
+    return [xor, anded, doubled, total]
+
+
+def _sub_sub(block: BasicBlock, position: int, inst: BinaryOp) -> List[Instruction]:
+    # a - b  ->  a + (0 - b)
+    neg = BinaryOp("sub", Constant(inst.type, 0), inst.rhs, name=f"{inst.name}.neg")
+    add = BinaryOp("add", inst.lhs, neg, name=inst.name)
+    return [neg, add]
+
+
+def _sub_xor(block: BasicBlock, position: int, inst: BinaryOp) -> List[Instruction]:
+    # a ^ b  ->  (a | b) - (a & b)
+    ored = BinaryOp("or", inst.lhs, inst.rhs, name=f"{inst.name}.o")
+    anded = BinaryOp("and", inst.lhs, inst.rhs, name=f"{inst.name}.a")
+    result = BinaryOp("sub", ored, anded, name=inst.name)
+    return [ored, anded, result]
+
+
+def _sub_and(block: BasicBlock, position: int, inst: BinaryOp) -> List[Instruction]:
+    # a & b  ->  (a | b) - (a ^ b)
+    ored = BinaryOp("or", inst.lhs, inst.rhs, name=f"{inst.name}.o")
+    xored = BinaryOp("xor", inst.lhs, inst.rhs, name=f"{inst.name}.x")
+    result = BinaryOp("sub", ored, xored, name=inst.name)
+    return [ored, xored, result]
+
+
+def _sub_or(block: BasicBlock, position: int, inst: BinaryOp) -> List[Instruction]:
+    # a | b  ->  (a & b) + (a ^ b)
+    anded = BinaryOp("and", inst.lhs, inst.rhs, name=f"{inst.name}.a")
+    xored = BinaryOp("xor", inst.lhs, inst.rhs, name=f"{inst.name}.x")
+    result = BinaryOp("add", anded, xored, name=inst.name)
+    return [anded, xored, result]
+
+
+_STRATEGIES: Dict[str, List[Callable]] = {
+    "add": [_sub_add, _sub_add_v2],
+    "sub": [_sub_sub],
+    "xor": [_sub_xor],
+    "and": [_sub_and],
+    "or": [_sub_or],
+}
+
+
+class InstructionSubstitution(FunctionPass):
+    """The *Sub* baseline; ``ratio`` controls how many eligible sites change."""
+
+    name = "ollvm-sub"
+
+    def __init__(self, ratio: float = 1.0, seed: int = 1):
+        self.ratio = ratio
+        self.seed = seed
+
+    def run_on_function(self, function: Function) -> bool:
+        rng = random.Random(stable_hash(self.seed, function.name))
+        changed = False
+        for block in function.blocks:
+            for inst in list(block.instructions):
+                if not isinstance(inst, BinaryOp):
+                    continue
+                strategies = _STRATEGIES.get(inst.op)
+                if not strategies:
+                    continue
+                if not inst.type.is_integer:
+                    continue
+                if rng.random() > self.ratio:
+                    continue
+                strategy = rng.choice(strategies)
+                position = block.instructions.index(inst)
+                replacement = strategy(block, position, inst)
+                block.remove(inst)
+                for offset, new_inst in enumerate(replacement):
+                    block.insert(position + offset, new_inst)
+                self._replace_uses(function, inst, replacement[-1])
+                changed = True
+        return changed
+
+    @staticmethod
+    def _replace_uses(function: Function, old: Instruction,
+                      new: Instruction) -> None:
+        for inst in function.instructions():
+            if inst is new:
+                continue
+            inst.replace_operand(old, new)

@@ -1,0 +1,16 @@
+"""Khaos: the inter-procedural obfuscation primitives (fission and fusion)."""
+
+from .config import FissionConfig, FusionConfig, KhaosConfig, Mode
+from .provenance import ProvenanceMap
+from .stats import FissionStats, FusionStats, KhaosStats
+from .region import Region, RegionIdentifier
+from .fission import Fission
+from .fusion import Fusion, TAG_FUSED_A, TAG_FUSED_B
+from .obfuscator import Khaos, ObfuscationResult, obfuscate
+
+__all__ = [
+    "FissionConfig", "FusionConfig", "KhaosConfig", "Mode", "ProvenanceMap",
+    "FissionStats", "FusionStats", "KhaosStats", "Region", "RegionIdentifier",
+    "Fission", "Fusion", "TAG_FUSED_A", "TAG_FUSED_B", "Khaos",
+    "ObfuscationResult", "obfuscate",
+]

@@ -1,0 +1,71 @@
+"""Configuration of the Khaos obfuscator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+class Mode:
+    """Obfuscation modes evaluated in the paper (section 3.4)."""
+
+    FISSION = "fission"
+    FUSION = "fusion"
+    FUFI_SEP = "fufi.sep"
+    FUFI_ORI = "fufi.ori"
+    FUFI_ALL = "fufi.all"
+
+    ALL = (FISSION, FUSION, FUFI_SEP, FUFI_ORI, FUFI_ALL)
+
+
+@dataclass
+class FissionConfig:
+    """Parameters of the fission primitive."""
+
+    min_function_blocks: int = 4      # functions smaller than this are left alone
+    min_region_blocks: int = 2        # do not create single-block sepFuncs
+    max_regions_per_function: int = 4
+    max_parameters: int = 6           # keep sepFunc arguments in registers
+    min_value: float = 0.01           # Algorithm 1 cost-effectiveness cutoff
+    enable_dataflow_reduction: bool = True
+
+
+@dataclass
+class FusionConfig:
+    """Parameters of the fusion primitive."""
+
+    max_parameters: int = 6           # prefer pairs whose merged list fits registers
+    allow_stack_parameters: bool = True
+    max_merged_parameters: int = 10   # hard cap even when the stack is allowed
+    enable_parameter_compression: bool = True
+    enable_deep_fusion: bool = True
+    max_deep_fusion_blocks: int = 2
+    fuse_exported: bool = True        # exported functions get trampolines
+
+
+@dataclass
+class KhaosConfig:
+    """Top-level configuration: mode, seed and per-primitive settings."""
+
+    mode: str = Mode.FUFI_ORI
+    seed: int = 0x5EED
+    fission: FissionConfig = field(default_factory=FissionConfig)
+    fusion: FusionConfig = field(default_factory=FusionConfig)
+
+    def __post_init__(self) -> None:
+        if self.mode not in Mode.ALL:
+            raise ValueError(f"unknown Khaos mode {self.mode!r}; "
+                             f"expected one of {Mode.ALL}")
+
+    @property
+    def runs_fission(self) -> bool:
+        return self.mode in (Mode.FISSION, Mode.FUFI_SEP, Mode.FUFI_ORI,
+                             Mode.FUFI_ALL)
+
+    @property
+    def runs_fusion(self) -> bool:
+        return self.mode in (Mode.FUSION, Mode.FUFI_SEP, Mode.FUFI_ORI,
+                             Mode.FUFI_ALL)
+
+    def with_mode(self, mode: str) -> "KhaosConfig":
+        return replace(self, mode=mode)

@@ -1,0 +1,333 @@
+"""The fission primitive: separate a function into sub-functions.
+
+For every chosen region (see :mod:`repro.core.region`) the pass
+
+1. creates a *sepFunc* whose body is the region's basic blocks;
+2. rebuilds the data flow — values defined outside the region and used inside
+   become parameters, values defined inside and used outside are returned
+   through pointer out-parameters, and locals used only inside the region are
+   re-allocated inside the sepFunc (the paper's lazy-allocation data-flow
+   reduction);
+3. rebuilds the control flow — the region is replaced in the *remFunc* by a
+   call followed by a dispatch on the sepFunc's return value, which encodes
+   the exit through which the region left (including "the original function
+   returns now", section 3.2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.defuse import DefUse, region_inputs, region_outputs
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function, Linkage
+from ..ir.instructions import (Alloca, Branch, Call, CondBranch, Instruction,
+                               Load, Ret, Store, Switch, Unreachable)
+from ..ir.module import Module
+from ..ir.types import FunctionType, IntType, PointerType, I64
+from ..ir.values import Argument, Constant, Value
+from .config import FissionConfig
+from .provenance import ProvenanceMap
+from .region import Region, RegionIdentifier
+from .stats import FissionStats
+
+
+class Fission:
+    """Applies the fission primitive to every eligible function of a module."""
+
+    def __init__(self, config: Optional[FissionConfig] = None,
+                 provenance: Optional[ProvenanceMap] = None,
+                 stats: Optional[FissionStats] = None):
+        self.config = config or FissionConfig()
+        self.provenance = provenance if provenance is not None else ProvenanceMap()
+        self.stats = stats if stats is not None else FissionStats()
+
+    # -- module driver ------------------------------------------------------------
+
+    def run_on_module(self, module: Module, entry: str = "main") -> List[Function]:
+        created: List[Function] = []
+        originals = [f for f in module.defined_functions() if f.name != entry]
+        self.stats.original_functions += len(originals)
+        for function in originals:
+            if function.attributes.get("no_obfuscate"):
+                continue
+            new_funcs = self.run_on_function(module, function)
+            created.extend(new_funcs)
+        return created
+
+    def run_on_function(self, module: Module, function: Function) -> List[Function]:
+        if function.is_declaration:
+            return []
+        if function.block_count() < self.config.min_function_blocks:
+            return []
+
+        identifier = RegionIdentifier(function, self.config)
+        regions = identifier.identify()
+        if not regions:
+            return []
+
+        original_block_count = function.block_count()
+        created: List[Function] = []
+        removed_blocks = 0
+        for index, region in enumerate(regions):
+            # earlier extractions may have invalidated a later region
+            if any(block.parent is not function for block in region.blocks):
+                continue
+            sepfunc = self._extract_region(module, function, region, index)
+            if sepfunc is None:
+                continue
+            created.append(sepfunc)
+            removed_blocks += len(region.blocks)
+            self.stats.sepfunc_block_counts.append(len(region.blocks))
+            self.provenance.record_derived(sepfunc.name, [function.name])
+
+        if created:
+            self.stats.processed_functions += 1
+            self.stats.sepfuncs_created += len(created)
+            self.stats.per_function_reduction.append(
+                removed_blocks / max(1, original_block_count))
+            function.attributes["khaos_fissioned"] = True
+            self.provenance.record_identity(function.name)
+        return created
+
+    # -- region extraction --------------------------------------------------------
+
+    def _extract_region(self, module: Module, function: Function,
+                        region: Region, index: int) -> Optional[Function]:
+        region_blocks = list(region.blocks)
+        region_ids = {id(b) for b in region_blocks}
+
+        inputs = region_inputs(region_blocks)
+        lazy_allocas: List[Alloca] = []
+        if self.config.enable_dataflow_reduction:
+            lazy_allocas = self._lazy_allocas(function, region_ids, inputs)
+            lazy_ids = {id(a) for a in lazy_allocas}
+            inputs = [v for v in inputs if id(v) not in lazy_ids]
+        outputs = region_outputs(function, region_blocks)
+
+        ret_blocks = [b for b in region_blocks if isinstance(b.terminator, Ret)]
+        need_ret_out = (not function.return_type.is_void) and bool(ret_blocks)
+
+        param_count = len(inputs) + len(outputs) + (1 if need_ret_out else 0)
+        if param_count > self.config.max_parameters:
+            return None
+
+        exit_targets = self._exit_targets(region_blocks, region_ids)
+        return_code = len(exit_targets)
+
+        # -- build the sepFunc shell ---------------------------------------------
+        param_types = [v.type for v in inputs]
+        param_types += [PointerType(o.type) for o in outputs]
+        if need_ret_out:
+            param_types.append(PointerType(function.return_type))
+        param_names = [f"in{i}" for i in range(len(inputs))]
+        param_names += [f"out{i}" for i in range(len(outputs))]
+        if need_ret_out:
+            param_names.append("retout")
+
+        sep_name = self._unique_name(module, f"{function.name}.sep.{index}")
+        sepfunc = Function(sep_name, FunctionType(I64, param_types),
+                           param_names=param_names, linkage=Linkage.INTERNAL)
+        sepfunc.attributes["khaos_kind"] = "sepfunc"
+        sepfunc.attributes["khaos_origin"] = function.name
+        module.add_function(sepfunc)
+
+        # -- move the region's blocks ----------------------------------------------
+        ordered = [region.head] + [b for b in region_blocks if b is not region.head]
+        for block in ordered:
+            function.remove_block(block)
+            block.parent = sepfunc
+            sepfunc.blocks.append(block)
+
+        # -- data flow: inputs become parameters ------------------------------------
+        input_map: Dict[int, Value] = {
+            id(value): sepfunc.args[i] for i, value in enumerate(inputs)}
+        for inst in sepfunc.instructions():
+            for i, op in enumerate(inst.operands):
+                mapped = input_map.get(id(op))
+                if mapped is not None:
+                    inst.operands[i] = mapped
+
+        # -- data flow reduction: locals used only in the region move inside --------
+        for alloca in lazy_allocas:
+            if alloca.parent is not None:
+                alloca.parent.remove(alloca)
+            sepfunc.entry_block.insert(0, alloca)
+
+        # -- data flow: outputs are written through pointer parameters --------------
+        out_params = sepfunc.args[len(inputs):len(inputs) + len(outputs)]
+        for output, out_param in zip(outputs, out_params):
+            owner = output.parent
+            position = owner.instructions.index(output) + 1
+            owner.insert(position, Store(output, out_param))
+        ret_out_param = sepfunc.args[-1] if need_ret_out else None
+
+        # -- control flow inside the sepFunc: exits return their code ---------------
+        exit_stubs: Dict[int, BasicBlock] = {}
+        for code, target in enumerate(exit_targets):
+            stub = sepfunc.add_block(f"exit.{code}")
+            stub.append(Ret(Constant(I64, code)))
+            exit_stubs[id(target)] = stub
+
+        for block in ordered:
+            term = block.terminator
+            if term is None:
+                continue
+            if isinstance(term, Ret):
+                block.remove(term)
+                if need_ret_out and term.value is not None:
+                    block.append(Store(term.value, ret_out_param))
+                block.append(Ret(Constant(I64, return_code)))
+                continue
+            self._retarget_outside(term, region_ids, exit_stubs)
+
+        # -- control flow in the remFunc: call + dispatch ---------------------------
+        self._build_call_site(function, sepfunc, region, inputs, outputs,
+                              exit_targets, ret_blocks, need_ret_out,
+                              return_code)
+        return sepfunc
+
+    # -- helpers ------------------------------------------------------------------
+
+    @staticmethod
+    def _unique_name(module: Module, base: str) -> str:
+        name = base
+        counter = 0
+        while module.get_function(name) is not None:
+            counter += 1
+            name = f"{base}.{counter}"
+        return name
+
+    @staticmethod
+    def _lazy_allocas(function: Function, region_ids: set,
+                      inputs: Sequence[Value]) -> List[Alloca]:
+        defuse = DefUse(function)
+        lazy: List[Alloca] = []
+        for value in inputs:
+            if not isinstance(value, Alloca):
+                continue
+            uses = defuse.uses_of(value)
+            if uses and all(id(u.parent) in region_ids for u in uses):
+                lazy.append(value)
+        return lazy
+
+    @staticmethod
+    def _exit_targets(region_blocks: Sequence[BasicBlock],
+                      region_ids: set) -> List[BasicBlock]:
+        targets: List[BasicBlock] = []
+        seen = set()
+        for block in region_blocks:
+            for succ in block.successors():
+                if id(succ) in region_ids:
+                    continue
+                if id(succ) not in seen:
+                    seen.add(id(succ))
+                    targets.append(succ)
+        return targets
+
+    @staticmethod
+    def _retarget_outside(term: Instruction, region_ids: set,
+                          exit_stubs: Dict[int, BasicBlock]) -> None:
+        if isinstance(term, Branch):
+            if id(term.target) not in region_ids:
+                term.target = exit_stubs[id(term.target)]
+        elif isinstance(term, CondBranch):
+            if id(term.true_target) not in region_ids:
+                term.true_target = exit_stubs[id(term.true_target)]
+            if id(term.false_target) not in region_ids:
+                term.false_target = exit_stubs[id(term.false_target)]
+        elif isinstance(term, Switch):
+            if id(term.default_target) not in region_ids:
+                term.default_target = exit_stubs[id(term.default_target)]
+            term.cases = [
+                (c, exit_stubs[id(t)] if id(t) not in region_ids else t)
+                for c, t in term.cases]
+
+    def _build_call_site(self, function: Function, sepfunc: Function,
+                         region: Region, inputs: Sequence[Value],
+                         outputs: Sequence[Instruction],
+                         exit_targets: Sequence[BasicBlock],
+                         ret_blocks: Sequence[BasicBlock],
+                         need_ret_out: bool, return_code: int) -> None:
+        entry = function.entry_block
+
+        out_allocas: List[Alloca] = []
+        for i, output in enumerate(outputs):
+            slot = Alloca(output.type, name=f"{sepfunc.name}.out{i}")
+            entry.insert(0, slot)
+            out_allocas.append(slot)
+        ret_alloca: Optional[Alloca] = None
+        if need_ret_out:
+            ret_alloca = Alloca(function.return_type, name=f"{sepfunc.name}.retslot")
+            entry.insert(0, ret_alloca)
+
+        call_block = function.add_block(f"{region.head.name}.call")
+        call_args: List[Value] = list(inputs) + list(out_allocas)
+        if ret_alloca is not None:
+            call_args.append(ret_alloca)
+        call = Call(sepfunc, call_args, name=f"{sepfunc.name}.code")
+        call_block.append(call)
+
+        # outputs become loads of the out slots; rewrite every remaining use
+        replacements: Dict[int, Value] = {}
+        for output, slot in zip(outputs, out_allocas):
+            load = Load(slot, name=f"{output.name}.reload")
+            call_block.append(load)
+            replacements[id(output)] = load
+        if replacements:
+            for inst in function.instructions():
+                for i, op in enumerate(inst.operands):
+                    if id(op) in replacements:
+                        inst.operands[i] = replacements[id(op)]
+
+        # the block that re-materialises "return from inside the region"
+        return_block: Optional[BasicBlock] = None
+        if ret_blocks:
+            return_block = function.add_block(f"{region.head.name}.ret")
+            if need_ret_out and ret_alloca is not None:
+                reload = Load(ret_alloca, name=f"{sepfunc.name}.retreload")
+                return_block.append(reload)
+                return_block.append(Ret(reload))
+            elif function.return_type.is_void:
+                return_block.append(Ret(None))
+            else:
+                return_block.append(Ret(Constant(I64, 0)))
+
+        # dispatch on the sepFunc's return code
+        if len(exit_targets) == 1 and not ret_blocks:
+            call_block.append(Branch(exit_targets[0]))
+        elif not exit_targets and not ret_blocks:
+            call_block.append(Unreachable())
+        else:
+            default = return_block if return_block is not None else exit_targets[0]
+            switch = Switch(call, default)
+            for code, target in enumerate(exit_targets):
+                switch.add_case(Constant(I64, code), target)
+            if return_block is not None and exit_targets:
+                switch.add_case(Constant(I64, return_code), return_block)
+            call_block.append(switch)
+
+        # redirect every edge that targeted the region head to the call block
+        self._retarget_head(function, region.head, call_block)
+
+    @staticmethod
+    def _retarget_head(function: Function, head: BasicBlock,
+                       call_block: BasicBlock) -> None:
+        for block in function.blocks:
+            if block is call_block:
+                continue
+            term = block.terminator
+            if term is None:
+                continue
+            if isinstance(term, Branch) and term.target is head:
+                term.target = call_block
+            elif isinstance(term, CondBranch):
+                if term.true_target is head:
+                    term.true_target = call_block
+                if term.false_target is head:
+                    term.false_target = call_block
+            elif isinstance(term, Switch):
+                if term.default_target is head:
+                    term.default_target = call_block
+                term.cases = [(c, call_block if t is head else t)
+                              for c, t in term.cases]

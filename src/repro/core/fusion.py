@@ -1,0 +1,653 @@
+"""The fusion primitive: aggregate pairs of functions into one.
+
+For each selected pair (A, B) the pass builds a *fusFunc* whose first
+parameter is the ``ctrl`` selector and whose remaining parameters are the
+compressed merger of A's and B's parameter lists (section 3.3.2).  Every
+direct call site of A or B is redirected to the fusFunc with the appropriate
+``ctrl`` constant and padding for the other side's parameters.  Functions
+whose address is taken are handled with the tagged-pointer mechanism
+(section 3.3.3): address-taking sites attach a two-bit tag to the fused
+function's pointer and every indirect call site is rewritten to check the tag
+and supply ``ctrl`` dynamically.  Exported functions keep a forwarding
+*trampoline* under their original name, the single-binary analogue of the
+paper's cross-module trampoline.  Finally, *deep fusion* (section 3.3.4)
+merges innocuous basic blocks from the two sides so the fusFunc cannot be
+trivially split back apart.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..analysis.callgraph import CallGraph
+from ..analysis.memory_effects import is_innocuous_block
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function, Linkage
+from ..ir.instructions import (Alloca, Branch, Call, Cast, Compare, CondBranch,
+                               Instruction, Load, Ret, Store, Switch)
+from ..ir.module import Module, clone_function_body
+from ..ir.types import (FloatType, FunctionType, IntType, PointerType, Type,
+                        compatible_type, compress_parameter_lists, I64, I8)
+from ..ir.values import Argument, Constant, GlobalVariable, NullPointer, UndefValue, Value
+from .config import FusionConfig
+from .provenance import ProvenanceMap
+from .stats import FusionStats
+
+# Tag bit layout (appendix A.1): bit0 = "points to a fusFunc", bit1 = ctrl.
+TAG_FUSED_A = 0b11   # ctrl == 1, run the A side
+TAG_FUSED_B = 0b01   # ctrl == 0, run the B side
+
+
+class FusionPair:
+    """Book-keeping for one (A, B) aggregation."""
+
+    def __init__(self, side_a: Function, side_b: Function,
+                 merged_params: Tuple[Type, ...],
+                 a_index: Sequence[int], b_index: Sequence[int],
+                 return_type: Type):
+        self.side_a = side_a
+        self.side_b = side_b
+        self.merged_params = merged_params
+        self.a_index = tuple(a_index)
+        self.b_index = tuple(b_index)
+        self.return_type = return_type
+        self.fused: Optional[Function] = None
+
+
+class Fusion:
+    """Applies the fusion primitive to eligible functions of a module."""
+
+    def __init__(self, config: Optional[FusionConfig] = None,
+                 provenance: Optional[ProvenanceMap] = None,
+                 stats: Optional[FusionStats] = None, seed: int = 0x5EED):
+        self.config = config or FusionConfig()
+        self.provenance = provenance if provenance is not None else ProvenanceMap()
+        self.stats = stats if stats is not None else FusionStats()
+        self.seed = seed
+        self._counter = 0
+
+    # -- module driver ------------------------------------------------------------
+
+    def run_on_module(self, module: Module, entry: str = "main",
+                      candidate_filter=None) -> List[Function]:
+        callgraph = CallGraph(module)
+        candidates = self._collect_candidates(module, entry, candidate_filter)
+        self.stats.candidate_functions += len(candidates)
+
+        pairs = self._select_pairs(candidates, callgraph)
+        created: List[Function] = []
+        for pair in pairs:
+            fused = self._fuse_pair(module, pair, callgraph)
+            if fused is None:
+                continue
+            created.append(fused)
+            self.stats.fusfuncs_created += 1
+            self.stats.fused_functions += 2
+            self.stats.reduced_parameters.append(
+                len(pair.side_a.args) + len(pair.side_b.args)
+                - len(pair.merged_params))
+
+        if any(callgraph.is_address_taken(p.side_a.name)
+               or callgraph.is_address_taken(p.side_b.name)
+               for p in pairs if p.fused is not None):
+            self._rewrite_indirect_call_sites(module)
+
+        # drop the now-unreferenced originals (exported ones were already
+        # replaced by a trampoline carrying the same name)
+        for pair in pairs:
+            if pair.fused is None:
+                continue
+            for original in (pair.side_a, pair.side_b):
+                if module.get_function(original.name) is original:
+                    module.remove_function(original.name)
+                    self.provenance.record_removed(original.name)
+        return created
+
+    # -- candidate selection ------------------------------------------------------
+
+    def _collect_candidates(self, module: Module, entry: str,
+                            candidate_filter) -> List[Function]:
+        candidates = []
+        for function in module.defined_functions():
+            if function.name == entry:
+                continue
+            if function.is_variadic:
+                continue
+            if function.attributes.get("no_obfuscate"):
+                continue
+            if function.attributes.get("khaos_kind") == "trampoline":
+                continue
+            if not self.config.fuse_exported and function.linkage == Linkage.EXPORTED:
+                continue
+            if candidate_filter is not None and not candidate_filter(function):
+                continue
+            candidates.append(function)
+        return candidates
+
+    def _select_pairs(self, candidates: List[Function],
+                      callgraph: CallGraph) -> List[FusionPair]:
+        rng = random.Random(self.seed)
+        pool = list(candidates)
+        rng.shuffle(pool)
+        paired: Set[int] = set()
+        pairs: List[FusionPair] = []
+
+        for i, side_a in enumerate(pool):
+            if id(side_a) in paired:
+                continue
+            best: Optional[Tuple[int, FusionPair]] = None
+            for j in range(i + 1, len(pool)):
+                side_b = pool[j]
+                if id(side_b) in paired:
+                    continue
+                pair = self._try_pair(side_a, side_b, callgraph)
+                if pair is None:
+                    continue
+                fits_registers = len(pair.merged_params) + 1 <= self.config.max_parameters
+                if fits_registers:
+                    best = (j, pair)
+                    break
+                if best is None and self.config.allow_stack_parameters:
+                    best = (j, pair)
+            if best is not None:
+                j, pair = best
+                paired.add(id(side_a))
+                paired.add(id(pool[j]))
+                pairs.append(pair)
+        return pairs
+
+    def _try_pair(self, side_a: Function, side_b: Function,
+                  callgraph: CallGraph) -> Optional[FusionPair]:
+        return_type = compatible_type(side_a.return_type, side_b.return_type)
+        if return_type is None:
+            return None
+        if callgraph.directly_related(side_a.name, side_b.name):
+            return None
+
+        a_types = side_a.ftype.param_types
+        b_types = side_b.ftype.param_types
+        address_taken = (callgraph.is_address_taken(side_a.name)
+                         or callgraph.is_address_taken(side_b.name))
+        if address_taken:
+            # both sides must look identical to indirect callers, so their
+            # parameter layouts must coincide exactly
+            if a_types != b_types:
+                return None
+            merged = tuple(a_types)
+            a_index = tuple(range(len(a_types)))
+            b_index = tuple(range(len(b_types)))
+        elif self.config.enable_parameter_compression:
+            merged, a_index, b_index = compress_parameter_lists(a_types, b_types)
+        else:
+            merged = tuple(a_types) + tuple(b_types)
+            a_index = tuple(range(len(a_types)))
+            b_index = tuple(range(len(a_types), len(a_types) + len(b_types)))
+
+        if len(merged) + 1 > self.config.max_merged_parameters:
+            return None
+        return FusionPair(side_a, side_b, merged, a_index, b_index, return_type)
+
+    # -- fusing one pair ----------------------------------------------------------
+
+    def _fuse_pair(self, module: Module, pair: FusionPair,
+                   callgraph: CallGraph) -> Optional[Function]:
+        self._counter += 1
+        fused_name = f"khaos.fuse.{self._counter}"
+        while module.get_function(fused_name) is not None:
+            self._counter += 1
+            fused_name = f"khaos.fuse.{self._counter}"
+
+        param_types = [I64] + list(pair.merged_params)
+        param_names = ["ctrl"] + [f"p{i}" for i in range(len(pair.merged_params))]
+        fused = Function(fused_name, FunctionType(pair.return_type, param_types),
+                         param_names=param_names, linkage=Linkage.INTERNAL)
+        fused.attributes["khaos_kind"] = "fusfunc"
+        fused.attributes["khaos_sides"] = (pair.side_a.name, pair.side_b.name)
+        module.add_function(fused)
+        pair.fused = fused
+
+        entry = fused.add_block("entry")
+        ctrl = fused.args[0]
+        is_a = Compare("eq", ctrl, Constant(I64, 1), name="is_a")
+        entry.append(is_a)
+
+        a_entry = self._clone_side(fused, pair, pair.side_a, pair.a_index, "a")
+        b_entry = self._clone_side(fused, pair, pair.side_b, pair.b_index, "b")
+        entry.append(CondBranch(is_a, a_entry, b_entry))
+        self._hoist_allocas(fused)
+
+        if self.config.enable_deep_fusion:
+            merged_blocks = self._deep_fuse(fused, is_a, "a.", "b.")
+            self.stats.deep_fused_blocks += merged_blocks
+        self.stats.innocuous_block_counts.append(
+            sum(1 for b in fused.blocks if is_innocuous_block(fused, b)))
+
+        self.provenance.record_derived(fused.name,
+                                       [pair.side_a.name, pair.side_b.name])
+
+        self._rewrite_direct_calls(module, pair)
+        self._rewrite_address_taken(module, pair, callgraph)
+        self._create_trampolines(module, pair)
+        return fused
+
+    # -- body cloning -------------------------------------------------------------
+
+    def _clone_side(self, fused: Function, pair: FusionPair, source: Function,
+                    index_map: Sequence[int], prefix: str) -> BasicBlock:
+        """Clone ``source``'s body into ``fused``; return its (adapter) entry."""
+        adapter = fused.add_block(f"{prefix}.adapter")
+        value_map: Dict[int, Value] = {}
+        for i, formal in enumerate(source.args):
+            fused_param = fused.args[1 + index_map[i]]
+            incoming: Value = fused_param
+            if fused_param.type != formal.type:
+                cast = Cast(self._narrow_cast_kind(fused_param.type, formal.type),
+                            fused_param, formal.type,
+                            name=f"{prefix}.narrow{i}")
+                adapter.append(cast)
+                incoming = cast
+            value_map[id(formal)] = incoming
+
+        temp = Function(f"{source.name}.tmp", source.ftype)
+        clone_function_body(source, temp, value_map)
+        cloned_blocks = list(temp.blocks)
+        for block in cloned_blocks:
+            block.name = fused.unique_name(f"{prefix}.{block.name}")
+            block.parent = fused
+            fused.blocks.append(block)
+
+        self._rewrite_returns(fused, cloned_blocks, source.return_type,
+                              pair.return_type)
+        adapter.append(Branch(cloned_blocks[0]))
+        return adapter
+
+    def _rewrite_returns(self, fused: Function, blocks: Sequence[BasicBlock],
+                         original: Type, merged: Type) -> None:
+        for block in blocks:
+            term = block.terminator
+            if not isinstance(term, Ret):
+                continue
+            if merged.is_void:
+                continue
+            if term.value is None:
+                block.remove(term)
+                block.append(Ret(self._zero_of(merged)))
+                continue
+            if original == merged:
+                continue
+            block.remove(term)
+            cast = Cast(self._widen_cast_kind(original, merged), term.value,
+                        merged, name="retwiden")
+            block.append(cast)
+            block.append(Ret(cast))
+
+    @staticmethod
+    def _hoist_allocas(fused: Function) -> None:
+        entry = fused.entry_block
+        for block in fused.blocks[1:]:
+            for inst in list(block.instructions):
+                if isinstance(inst, Alloca):
+                    block.remove(inst)
+                    entry.insert(0, inst)
+
+    # -- deep fusion ----------------------------------------------------------------
+
+    def _deep_fuse(self, fused: Function, is_a: Compare, prefix_a: str,
+                   prefix_b: str) -> int:
+        candidates_a = self._deep_fusion_candidates(fused, prefix_a)
+        candidates_b = self._deep_fusion_candidates(fused, prefix_b)
+        merged = 0
+        for block_a, block_b in zip(candidates_a, candidates_b):
+            if merged >= self.config.max_deep_fusion_blocks:
+                break
+            self._merge_innocuous_blocks(fused, is_a, block_a, block_b)
+            merged += 1
+        return merged
+
+    def _deep_fusion_candidates(self, fused: Function,
+                                prefix: str) -> List[BasicBlock]:
+        entry = fused.entry_block
+        result = []
+        for block in fused.blocks:
+            if block is entry or not block.name.startswith(prefix):
+                continue
+            if block.name.endswith(".adapter"):
+                continue
+            if not block.non_terminator_instructions():
+                continue
+            if not is_innocuous_block(fused, block):
+                continue
+            if not self._is_self_contained(fused, block):
+                continue
+            # The innocuous criterion permits stores to the function's own
+            # allocas, but a merged block is re-executed on the *other* side's
+            # control flow (possibly inside its loops), where the store index
+            # is not bounded by this side's loop guard.  Only pure compute
+            # blocks are merged, which keeps re-execution trivially safe.
+            if any(isinstance(inst, (Store, Call))
+                   for inst in block.non_terminator_instructions()):
+                continue
+            result.append(block)
+        return result
+
+    @staticmethod
+    def _is_self_contained(fused: Function, block: BasicBlock) -> bool:
+        """Operands must be available no matter which side reaches the block."""
+        entry_allocas = {id(i) for i in fused.entry_block.instructions
+                         if isinstance(i, Alloca)}
+        local = {id(i) for i in block.instructions}
+        for inst in block.non_terminator_instructions():
+            for op in inst.operands:
+                if isinstance(op, (Constant, GlobalVariable, UndefValue,
+                                   Function)):
+                    continue
+                if isinstance(op, Argument) and op.function is fused:
+                    # integer/float parameters are always populated (padded
+                    # with zeros for the other side); pointer parameters are
+                    # padded with null, so dereferencing them from the other
+                    # side's path would fault — reject those blocks
+                    if op.type.is_pointer:
+                        return False
+                    continue
+                if id(op) in entry_allocas or id(op) in local:
+                    continue
+                return False
+        return True
+
+    def _merge_innocuous_blocks(self, fused: Function, is_a: Compare,
+                                block_a: BasicBlock, block_b: BasicBlock) -> None:
+        merged = fused.add_block(f"deep.{block_a.name}.{block_b.name}")
+        exit_a = fused.add_block(f"{merged.name}.a")
+        exit_b = fused.add_block(f"{merged.name}.b")
+
+        term_a = block_a.terminator
+        term_b = block_b.terminator
+        block_a.remove(term_a)
+        block_b.remove(term_b)
+        exit_a.append(term_a)
+        exit_b.append(term_b)
+
+        for inst in list(block_a.instructions):
+            block_a.remove(inst)
+            merged.append(inst)
+        for inst in list(block_b.instructions):
+            block_b.remove(inst)
+            merged.append(inst)
+        merged.append(CondBranch(is_a, exit_a, exit_b))
+
+        self._retarget_block(fused, block_a, merged)
+        self._retarget_block(fused, block_b, merged)
+        fused.remove_block(block_a)
+        fused.remove_block(block_b)
+
+    @staticmethod
+    def _retarget_block(function: Function, old: BasicBlock,
+                        new: BasicBlock) -> None:
+        for block in function.blocks:
+            term = block.terminator
+            if term is None:
+                continue
+            if isinstance(term, Branch) and term.target is old:
+                term.target = new
+            elif isinstance(term, CondBranch):
+                if term.true_target is old:
+                    term.true_target = new
+                if term.false_target is old:
+                    term.false_target = new
+            elif isinstance(term, Switch):
+                if term.default_target is old:
+                    term.default_target = new
+                term.cases = [(c, new if t is old else t) for c, t in term.cases]
+
+    # -- call-site rewriting --------------------------------------------------------
+
+    def _rewrite_direct_calls(self, module: Module, pair: FusionPair) -> None:
+        for function in module.defined_functions():
+            for block in function.blocks:
+                for call in [i for i in block.instructions if isinstance(i, Call)]:
+                    callee = call.callee
+                    if callee is pair.side_a:
+                        self._replace_call(function, block, call, pair,
+                                           ctrl=1, index_map=pair.a_index,
+                                           original=pair.side_a)
+                    elif callee is pair.side_b:
+                        self._replace_call(function, block, call, pair,
+                                           ctrl=0, index_map=pair.b_index,
+                                           original=pair.side_b)
+
+    def _replace_call(self, function: Function, block: BasicBlock, call: Call,
+                      pair: FusionPair, ctrl: int, index_map: Sequence[int],
+                      original: Function) -> None:
+        position = block.instructions.index(call)
+        new_args: List[Value] = [self._zero_of(t) for t in pair.merged_params]
+        inserted: List[Instruction] = []
+
+        for arg_value, merged_pos in zip(call.args, index_map):
+            target_type = pair.merged_params[merged_pos]
+            if arg_value.type != target_type and not isinstance(arg_value, Constant):
+                cast = Cast(self._widen_cast_kind(arg_value.type, target_type),
+                            arg_value, target_type, name="argwiden")
+                inserted.append(cast)
+                new_args[merged_pos] = cast
+            elif isinstance(arg_value, Constant) and arg_value.type != target_type:
+                new_args[merged_pos] = Constant(target_type, arg_value.value) \
+                    if not target_type.is_pointer else arg_value
+            else:
+                new_args[merged_pos] = arg_value
+
+        new_call = Call(pair.fused, [Constant(I64, ctrl)] + new_args,
+                        name=call.name or "fusedcall")
+        inserted.append(new_call)
+
+        result: Value = new_call
+        if (not original.return_type.is_void
+                and original.return_type != pair.return_type):
+            narrow = Cast(self._narrow_cast_kind(pair.return_type,
+                                                 original.return_type),
+                          new_call, original.return_type, name="retnarrow")
+            inserted.append(narrow)
+            result = narrow
+
+        for offset, inst in enumerate(inserted):
+            block.insert(position + offset, inst)
+        block.remove(call)
+        if call.has_result:
+            for inst in function.instructions():
+                inst.replace_operand(call, result)
+
+    # -- tagged pointers and trampolines ---------------------------------------------
+
+    def _rewrite_address_taken(self, module: Module, pair: FusionPair,
+                               callgraph: CallGraph) -> None:
+        tag_ptr = self._declare_tag_intrinsic(module, "__khaos_tag_ptr",
+                                              with_tag_argument=True)
+        replacements = []
+        for side, tag in ((pair.side_a, TAG_FUSED_A), (pair.side_b, TAG_FUSED_B)):
+            if not callgraph.is_address_taken(side.name):
+                continue
+            replacements.append((side, tag))
+        if not replacements:
+            return
+
+        for function in module.defined_functions():
+            for block in function.blocks:
+                for inst in list(block.instructions):
+                    operand_slice = (inst.operands[1:] if isinstance(inst, Call)
+                                     else inst.operands)
+                    for side, tag in replacements:
+                        if not any(op is side for op in operand_slice):
+                            continue
+                        if (side.linkage == Linkage.EXPORTED
+                                and self.config.fuse_exported):
+                            # the trampoline (created right after) keeps the
+                            # original name and signature; point at it instead
+                            continue
+                        position = block.instructions.index(inst)
+                        tagged = Call(tag_ptr, [pair.fused, Constant(I64, tag)],
+                                      name="tagged")
+                        block.insert(position, tagged)
+                        start = 1 if isinstance(inst, Call) else 0
+                        for i in range(start, len(inst.operands)):
+                            if inst.operands[i] is side:
+                                inst.operands[i] = tagged
+
+    def _create_trampolines(self, module: Module, pair: FusionPair) -> None:
+        for side, ctrl, index_map in ((pair.side_a, 1, pair.a_index),
+                                      (pair.side_b, 0, pair.b_index)):
+            if side.linkage != Linkage.EXPORTED or not self.config.fuse_exported:
+                continue
+            original_name = side.name
+            module.remove_function(original_name)
+            trampoline = Function(original_name, side.ftype,
+                                  param_names=[a.name for a in side.args],
+                                  linkage=Linkage.EXPORTED)
+            trampoline.attributes["khaos_kind"] = "trampoline"
+            module.add_function(trampoline)
+            block = trampoline.add_block("entry")
+
+            args: List[Value] = [self._zero_of(t) for t in pair.merged_params]
+            for formal, merged_pos in zip(trampoline.args, index_map):
+                target_type = pair.merged_params[merged_pos]
+                value: Value = formal
+                if formal.type != target_type:
+                    cast = Cast(self._widen_cast_kind(formal.type, target_type),
+                                formal, target_type, name="trampwiden")
+                    block.append(cast)
+                    value = cast
+                args[merged_pos] = value
+            call = Call(pair.fused, [Constant(I64, ctrl)] + args, name="forward")
+            block.append(call)
+            if trampoline.return_type.is_void:
+                block.append(Ret(None))
+            elif trampoline.return_type != pair.return_type:
+                narrow = Cast(self._narrow_cast_kind(pair.return_type,
+                                                     trampoline.return_type),
+                              call, trampoline.return_type, name="trampnarrow")
+                block.append(narrow)
+                block.append(Ret(narrow))
+            else:
+                block.append(Ret(call))
+
+            # any remaining references to the original now point at the trampoline
+            for function in module.defined_functions():
+                for inst in function.instructions():
+                    inst.replace_operand(side, trampoline)
+            self.provenance.record_derived(original_name, [original_name])
+
+    def _rewrite_indirect_call_sites(self, module: Module) -> None:
+        extract = self._declare_tag_intrinsic(module, "__khaos_extract_tag")
+        clear = self._declare_clear_intrinsic(module)
+
+        for function in module.defined_functions():
+            # snapshot first: the rewrite splits blocks and appends new ones,
+            # and the calls it inserts must not be rewritten again
+            indirect_calls = [inst for inst in function.instructions()
+                              if isinstance(inst, Call) and not inst.is_direct]
+            for call in indirect_calls:
+                self._rewrite_one_indirect_call(function, call, extract, clear)
+
+    def _rewrite_one_indirect_call(self, function: Function, call: Call,
+                                   extract: Function, clear: Function) -> None:
+        block = call.parent
+        position = block.instructions.index(call)
+        trailing = block.instructions[position + 1:]
+
+        continuation = function.add_block(f"{block.name}.icall.cont")
+        for inst in trailing:
+            block.remove(inst)
+            continuation.append(inst)
+        block.remove(call)
+
+        result_slot: Optional[Alloca] = None
+        if call.has_result:
+            result_slot = Alloca(call.type, name="icall.result")
+            function.entry_block.insert(0, result_slot)
+
+        fused_path = function.add_block(f"{block.name}.icall.fused")
+        normal_path = function.add_block(f"{block.name}.icall.normal")
+
+        tag = Call(extract, [call.callee], name="icall.tag")
+        block.append(tag)
+        has_tag = Compare("ne", tag, Constant(I64, 0), name="icall.hastag")
+        block.append(has_tag)
+        block.append(CondBranch(has_tag, fused_path, normal_path))
+
+        # fused path: ctrl comes from bit 1 of the tag, target from the cleared ptr
+        shifted = Call(clear, [call.callee], name="icall.target")
+        fused_path.append(shifted)
+        ctrl_bit = _bit1(fused_path, tag)
+        fused_call = Call(shifted, [ctrl_bit] + list(call.args),
+                          name="icall.fusedcall")
+        fused_path.append(fused_call)
+        if result_slot is not None:
+            fused_path.append(Store(fused_call, result_slot))
+        fused_path.append(Branch(continuation))
+
+        # normal path: the original call, untouched
+        normal_call = call.clone_shallow()
+        normal_call.name = "icall.plain"
+        normal_path.append(normal_call)
+        if result_slot is not None:
+            normal_path.append(Store(normal_call, result_slot))
+        normal_path.append(Branch(continuation))
+
+        if result_slot is not None:
+            reload = Load(result_slot, name="icall.reload")
+            continuation.insert(0, reload)
+            for inst in function.instructions():
+                inst.replace_operand(call, reload)
+
+    # -- intrinsic declarations -------------------------------------------------------
+
+    @staticmethod
+    def _declare_tag_intrinsic(module: Module, name: str,
+                               with_tag_argument: bool = False) -> Function:
+        pointer = PointerType(FunctionType(I64, [], variadic=True))
+        params = [pointer, I64] if with_tag_argument else [pointer]
+        return module.declare_function(name, FunctionType(
+            I64 if name == "__khaos_extract_tag" else pointer, params))
+
+    @staticmethod
+    def _declare_clear_intrinsic(module: Module) -> Function:
+        pointer = PointerType(FunctionType(I64, [], variadic=True))
+        return module.declare_function("__khaos_clear_tag",
+                                       FunctionType(pointer, [pointer]))
+
+    # -- small helpers ------------------------------------------------------------------
+
+    @staticmethod
+    def _zero_of(type_: Type) -> Value:
+        if type_.is_pointer:
+            return NullPointer(type_)
+        if type_.is_float:
+            return Constant(type_, 0.0)
+        if type_.is_integer:
+            return Constant(type_, 0)
+        return UndefValue(type_)
+
+    @staticmethod
+    def _widen_cast_kind(src: Type, dst: Type) -> str:
+        if src.is_integer and dst.is_integer:
+            return "sext"
+        if src.is_float and dst.is_float:
+            return "fpext"
+        return "bitcast"
+
+    @staticmethod
+    def _narrow_cast_kind(src: Type, dst: Type) -> str:
+        if src.is_integer and dst.is_integer:
+            return "trunc"
+        if src.is_float and dst.is_float:
+            return "fptrunc"
+        return "bitcast"
+
+
+def _bit1(block: BasicBlock, tag: Value) -> Instruction:
+    """Extract the ctrl bit (bit 1) of a tag value inside ``block``."""
+    from ..ir.instructions import BinaryOp
+    shifted = BinaryOp("ashr", tag, Constant(I64, 1), name="icall.ctrlshift")
+    block.append(shifted)
+    masked = BinaryOp("and", shifted, Constant(I64, 1), name="icall.ctrl")
+    block.append(masked)
+    return masked

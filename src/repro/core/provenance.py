@@ -1,0 +1,83 @@
+"""Provenance tracking: which original functions does each new function come from?
+
+The paper's "pairing success judgment method" (section 4.2) relaxes
+Precision@1: a match is counted as correct when an original function is paired
+with any of its sepFuncs or its remFunc (fission), or with the fusFunc it was
+merged into (fusion).  That judgment needs a ground-truth map from every
+function in the obfuscated binary back to the set of original functions whose
+code it (partly) contains — which is exactly what :class:`ProvenanceMap`
+records as the passes run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+
+class ProvenanceMap:
+    """Maps obfuscated function names to the original function names they contain."""
+
+    def __init__(self, original_names: Iterable[str] = ()):
+        self._origins: Dict[str, Set[str]] = {
+            name: {name} for name in original_names}
+
+    # -- updates ------------------------------------------------------------------
+
+    def record_identity(self, name: str) -> None:
+        self._origins.setdefault(name, {name})
+
+    def record_derived(self, new_name: str, source_names: Iterable[str]) -> None:
+        """``new_name`` contains code from every function in ``source_names``.
+
+        Source names are resolved through the map, so deriving from an already
+        derived function (e.g. fusing two sepFuncs) accumulates the true
+        original functions.
+        """
+        origins: Set[str] = set()
+        for source in source_names:
+            origins |= self._origins.get(source, {source})
+        self._origins[new_name] = origins
+
+    def record_removed(self, name: str) -> None:
+        self._origins.pop(name, None)
+
+    def rename(self, old_name: str, new_name: str) -> None:
+        if old_name in self._origins:
+            self._origins[new_name] = self._origins.pop(old_name)
+
+    # -- queries ------------------------------------------------------------------
+
+    def origins_of(self, name: str) -> FrozenSet[str]:
+        return frozenset(self._origins.get(name, {name}))
+
+    def functions_containing(self, original_name: str) -> List[str]:
+        """Every obfuscated function that contains code of ``original_name``."""
+        return sorted(new_name for new_name, origins in self._origins.items()
+                      if original_name in origins)
+
+    def is_correct_match(self, original_name: str, matched_name: str) -> bool:
+        """The paper's relaxed pairing rule."""
+        return original_name in self.origins_of(matched_name)
+
+    def known_names(self) -> List[str]:
+        return sorted(self._origins)
+
+    def as_dict(self) -> Dict[str, FrozenSet[str]]:
+        return {name: frozenset(origins)
+                for name, origins in self._origins.items()}
+
+    def compose(self, later: "ProvenanceMap") -> "ProvenanceMap":
+        """Provenance of applying ``later`` after ``self``."""
+        combined = ProvenanceMap()
+        for name, origins in later._origins.items():
+            resolved: Set[str] = set()
+            for origin in origins:
+                resolved |= self._origins.get(origin, {origin})
+            combined._origins[name] = resolved
+        return combined
+
+    def __len__(self) -> int:
+        return len(self._origins)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._origins

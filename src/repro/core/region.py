@@ -1,0 +1,171 @@
+"""Region identification for the fission primitive (Algorithm 1 of the paper).
+
+A candidate region is the dominator subtree of a non-entry block.  Regions are
+ranked by cost-effectiveness: the obfuscation *effect* is the number of basic
+blocks in the subtree, the *cost* is the static execution frequency of the
+subtree's head (scaled again by the trip count of the innermost loop the head
+sits in, so code inside loops is strongly penalised).  The algorithm picks the
+best region, discards every candidate that intersects it, and repeats.
+
+On top of Algorithm 1 the implementation enforces the structural side
+conditions the paper discusses in sections 3.2.1–3.2.4:
+
+* single entry — no edge from outside the region may target a non-head block;
+* no ``setjmp`` call site inside a separated region;
+* a region that contains a potentially-throwing call must also contain its
+  paired handler block (C++ EH consistency);
+* allocas defined inside the region must not be referenced outside it (their
+  storage dies with the sepFunc frame).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..analysis.block_frequency import BlockFrequency
+from ..analysis.cfg import ControlFlowGraph
+from ..analysis.dominators import DominatorTree
+from ..analysis.loops import LoopInfo
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Alloca, Call, Instruction, Ret
+from .config import FissionConfig
+
+
+@dataclass
+class Region:
+    """A candidate (or chosen) fission region."""
+
+    head: BasicBlock
+    blocks: List[BasicBlock]
+    effect: float
+    cost: float
+
+    @property
+    def value(self) -> float:
+        return self.effect / self.cost if self.cost > 0 else float("inf")
+
+    @property
+    def block_set(self) -> Set[int]:
+        return {id(b) for b in self.blocks}
+
+    def intersects(self, other: "Region") -> bool:
+        return bool(self.block_set & other.block_set)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Region head={self.head.name} blocks={len(self.blocks)} "
+                f"value={self.value:.3f}>")
+
+
+def _contains_setjmp(blocks: Sequence[BasicBlock]) -> bool:
+    for block in blocks:
+        for inst in block.instructions:
+            if isinstance(inst, Call):
+                callee_name = getattr(inst.callee, "name", "")
+                if callee_name in ("setjmp", "sigsetjmp", "_setjmp"):
+                    return True
+    return False
+
+
+def _single_entry(function: Function, cfg: ControlFlowGraph,
+                  region_blocks: Set[int], head: BasicBlock) -> bool:
+    for block in function.blocks:
+        if id(block) not in region_blocks:
+            continue
+        if block is head:
+            continue
+        for pred in cfg.predecessors.get(block, []):
+            if id(pred) not in region_blocks:
+                return False
+    return True
+
+
+def _eh_consistent(function: Function, region_blocks: Set[int]) -> bool:
+    """Keep try/catch pairs on the same side of the cut (section 3.2.4)."""
+    names_inside = {b.name for b in function.blocks if id(b) in region_blocks}
+    for thrower, handler in function.eh_pairs:
+        if (thrower in names_inside) != (handler in names_inside):
+            return False
+    return True
+
+
+def _allocas_escape(function: Function, region_blocks: Set[int]) -> bool:
+    inside_allocas = set()
+    for block in function.blocks:
+        if id(block) not in region_blocks:
+            continue
+        for inst in block.instructions:
+            if isinstance(inst, Alloca):
+                inside_allocas.add(id(inst))
+    if not inside_allocas:
+        return False
+    for block in function.blocks:
+        if id(block) in region_blocks:
+            continue
+        for inst in block.instructions:
+            for op in inst.operands:
+                if id(op) in inside_allocas:
+                    return True
+    return False
+
+
+class RegionIdentifier:
+    """Implements Algorithm 1 plus the structural validity checks."""
+
+    def __init__(self, function: Function, config: Optional[FissionConfig] = None):
+        self.function = function
+        self.config = config or FissionConfig()
+        self.cfg = ControlFlowGraph(function)
+        self.domtree = DominatorTree(function, self.cfg)
+        self.loops = LoopInfo(function, self.cfg, self.domtree)
+        self.frequency = BlockFrequency(function, self.cfg, self.loops)
+
+    # -- candidate generation -----------------------------------------------------
+
+    def candidate_regions(self) -> List[Region]:
+        candidates: List[Region] = []
+        entry = self.function.entry_block
+        for head in self.domtree.blocks():
+            if head is entry:
+                continue  # "we won't separate the whole function" (line 3)
+            blocks = self.domtree.dominated_region(head)
+            if len(blocks) < self.config.min_region_blocks:
+                continue
+            if len(blocks) >= self.function.block_count():
+                continue
+            region_ids = {id(b) for b in blocks}
+            if not self._is_valid(head, blocks, region_ids):
+                continue
+            effect = float(len(blocks))
+            cost = self.frequency.get(head)
+            loop = self.loops.innermost_loop(head)
+            if loop is not None:
+                cost *= loop.trip_count
+            candidates.append(Region(head, blocks, effect, cost))
+        return candidates
+
+    def _is_valid(self, head: BasicBlock, blocks: List[BasicBlock],
+                  region_ids: Set[int]) -> bool:
+        if _contains_setjmp(blocks):
+            return False
+        if not _single_entry(self.function, self.cfg, region_ids, head):
+            return False
+        if not _eh_consistent(self.function, region_ids):
+            return False
+        if _allocas_escape(self.function, region_ids):
+            return False
+        return True
+
+    # -- Algorithm 1 --------------------------------------------------------------
+
+    def identify(self) -> List[Region]:
+        remaining = self.candidate_regions()
+        chosen: List[Region] = []
+        while remaining and len(chosen) < self.config.max_regions_per_function:
+            target = max(remaining, key=lambda r: r.value)
+            if target.value < self.config.min_value:
+                break
+            chosen.append(target)
+            remaining = [r for r in remaining if not r.intersects(target)]
+        return chosen

@@ -1,0 +1,102 @@
+"""Internal statistics of the fission and fusion primitives (Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class FissionStats:
+    """Per-program fission statistics.
+
+    * ``ratio`` — #sepFuncs / #oriFuncs (the paper reports 116–152%);
+    * ``avg_sepfunc_blocks`` — average number of basic blocks per sepFunc (#BB);
+    * ``reduction_ratio`` — average fraction of blocks removed from the
+      functions that were actually split (RR).
+    """
+
+    original_functions: int = 0
+    processed_functions: int = 0
+    sepfuncs_created: int = 0
+    sepfunc_block_counts: List[int] = field(default_factory=list)
+    per_function_reduction: List[float] = field(default_factory=list)
+
+    @property
+    def ratio(self) -> float:
+        if self.original_functions == 0:
+            return 0.0
+        return self.sepfuncs_created / self.original_functions
+
+    @property
+    def avg_sepfunc_blocks(self) -> float:
+        if not self.sepfunc_block_counts:
+            return 0.0
+        return sum(self.sepfunc_block_counts) / len(self.sepfunc_block_counts)
+
+    @property
+    def reduction_ratio(self) -> float:
+        if not self.per_function_reduction:
+            return 0.0
+        return sum(self.per_function_reduction) / len(self.per_function_reduction)
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "fission_ratio": self.ratio,
+            "avg_bb": self.avg_sepfunc_blocks,
+            "reduction_ratio": self.reduction_ratio,
+        }
+
+
+@dataclass
+class FusionStats:
+    """Per-program fusion statistics.
+
+    * ``ratio`` — fraction of eligible functions that were aggregated (97–99%);
+    * ``avg_reduced_params`` — parameters saved by the compression (#RP);
+    * ``avg_innocuous_blocks`` — innocuous blocks per fused function (#HBB).
+    """
+
+    candidate_functions: int = 0
+    fused_functions: int = 0
+    fusfuncs_created: int = 0
+    reduced_parameters: List[int] = field(default_factory=list)
+    innocuous_block_counts: List[int] = field(default_factory=list)
+    deep_fused_blocks: int = 0
+
+    @property
+    def ratio(self) -> float:
+        if self.candidate_functions == 0:
+            return 0.0
+        return self.fused_functions / self.candidate_functions
+
+    @property
+    def avg_reduced_params(self) -> float:
+        if not self.reduced_parameters:
+            return 0.0
+        return sum(self.reduced_parameters) / len(self.reduced_parameters)
+
+    @property
+    def avg_innocuous_blocks(self) -> float:
+        if not self.innocuous_block_counts:
+            return 0.0
+        return sum(self.innocuous_block_counts) / len(self.innocuous_block_counts)
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "fusion_ratio": self.ratio,
+            "avg_reduced_params": self.avg_reduced_params,
+            "avg_innocuous_blocks": self.avg_innocuous_blocks,
+        }
+
+
+@dataclass
+class KhaosStats:
+    fission: FissionStats = field(default_factory=FissionStats)
+    fusion: FusionStats = field(default_factory=FusionStats)
+
+    def as_row(self) -> Dict[str, float]:
+        row = {}
+        row.update(self.fission.as_row())
+        row.update(self.fusion.as_row())
+        return row

@@ -1,0 +1,169 @@
+"""The common binary-diffing framework: tool interface, matching and metrics.
+
+Every tool produces, for each function of the *original* (un-obfuscated,
+un-stripped) binary, a ranked list of candidate functions in the *obfuscated*
+binary.  The evaluation then applies the paper's metrics:
+
+* **Precision@1** with the relaxed pairing rule of section 4.2 — a pairing is
+  correct if the top-ranked candidate contains code of the original function
+  (its remFunc, one of its sepFuncs, or the fusFunc it was merged into),
+  which is what :class:`~repro.core.provenance.ProvenanceMap` records;
+* **escape@n** (section 4.3) — a vulnerable function *escapes* if no correct
+  candidate appears within the top *n* ranked matches;
+* a whole-binary **similarity score** in [0, 1] (used for the BinDiff /
+  BinTuner comparison of Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..backend.binary import Binary, BinaryFunction
+from ..core.provenance import ProvenanceMap
+
+
+RankedCandidates = List[Tuple[str, float]]
+
+
+@dataclass
+class ToolInfo:
+    """Table 1 characteristics of a diffing tool."""
+
+    name: str
+    granularity: str              # "function" or "basic block"
+    symbol_relying: bool
+    time_consuming: bool
+    memory_consuming: bool
+    callgraph_lacking: bool
+
+    def as_row(self) -> Dict[str, str]:
+        def yn(flag: bool) -> str:
+            return "Y" if flag else "N"
+        return {
+            "diffing": self.name,
+            "granularity": self.granularity,
+            "symbol relying": yn(self.symbol_relying),
+            "time consuming": yn(self.time_consuming),
+            "memory consuming": yn(self.memory_consuming),
+            "call-graph lacking": yn(self.callgraph_lacking),
+        }
+
+
+@dataclass
+class DiffResult:
+    """Outcome of diffing one (original, obfuscated) binary pair."""
+
+    tool: str
+    original: str
+    obfuscated: str
+    matches: Dict[str, RankedCandidates] = field(default_factory=dict)
+    similarity_score: float = 0.0
+
+    def top_match(self, function_name: str) -> Optional[str]:
+        ranked = self.matches.get(function_name)
+        if not ranked:
+            return None
+        return ranked[0][0]
+
+    def rank_of_correct(self, function_name: str,
+                        provenance: ProvenanceMap) -> Optional[int]:
+        """1-based rank of the first correct candidate, or None."""
+        ranked = self.matches.get(function_name, [])
+        for position, (candidate, _score) in enumerate(ranked, start=1):
+            if provenance.is_correct_match(function_name, candidate):
+                return position
+        return None
+
+
+class BinaryDiffer:
+    """Base class of the five re-implemented diffing tools."""
+
+    info: ToolInfo
+
+    @property
+    def name(self) -> str:
+        return self.info.name
+
+    def diff(self, original: Binary, obfuscated: Binary) -> DiffResult:
+        raise NotImplementedError
+
+    # -- helpers shared by the concrete tools --------------------------------------
+
+    @staticmethod
+    def rank_by_similarity(original: Binary, obfuscated: Binary,
+                           similarity, max_candidates: int = 50
+                           ) -> Dict[str, RankedCandidates]:
+        """Rank every obfuscated function for every original function."""
+        matches: Dict[str, RankedCandidates] = {}
+        for source in original.functions:
+            scored = [(target.name, similarity(source, target))
+                      for target in obfuscated.functions]
+            scored.sort(key=lambda pair: (-pair[1], pair[0]))
+            matches[source.name] = scored[:max_candidates]
+        return matches
+
+    @staticmethod
+    def whole_binary_score(matches: Dict[str, RankedCandidates],
+                           original: Binary, obfuscated: Binary) -> float:
+        """Greedy one-to-one assignment score, normalised to [0, 1]."""
+        pairs: List[Tuple[float, str, str]] = []
+        for source_name, ranked in matches.items():
+            for target_name, score in ranked:
+                pairs.append((score, source_name, target_name))
+        pairs.sort(key=lambda item: (-item[0], item[1], item[2]))
+        used_sources: set = set()
+        used_targets: set = set()
+        total = 0.0
+        for score, source_name, target_name in pairs:
+            if source_name in used_sources or target_name in used_targets:
+                continue
+            used_sources.add(source_name)
+            used_targets.add(target_name)
+            total += max(0.0, min(1.0, score))
+        denominator = max(len(original.functions), len(obfuscated.functions), 1)
+        return total / denominator
+
+
+# -- evaluation metrics ---------------------------------------------------------------------
+
+
+def precision_at_1(result: DiffResult, provenance: ProvenanceMap,
+                   function_names: Optional[Sequence[str]] = None) -> float:
+    """Fraction of original functions whose top match is correct."""
+    names = list(function_names) if function_names is not None \
+        else sorted(result.matches)
+    if not names:
+        return 0.0
+    correct = 0
+    for name in names:
+        top = result.top_match(name)
+        if top is not None and provenance.is_correct_match(name, top):
+            correct += 1
+    return correct / len(names)
+
+
+def escape_ratio(results: Sequence[DiffResult], provenance_by_result,
+                 vulnerable_functions: Sequence[str], n: int) -> float:
+    """Fraction of vulnerable functions not correctly matched within the top n."""
+    total = 0
+    escaped = 0
+    for result in results:
+        provenance = provenance_by_result[id(result)]
+        for function_name in vulnerable_functions:
+            if function_name not in result.matches:
+                continue
+            total += 1
+            rank = result.rank_of_correct(function_name, provenance)
+            if rank is None or rank > n:
+                escaped += 1
+    if total == 0:
+        return 0.0
+    return escaped / total
+
+
+def escape_at_n(result: DiffResult, provenance: ProvenanceMap,
+                function_name: str, n: int) -> bool:
+    """True if ``function_name`` has no correct match within the top ``n``."""
+    rank = result.rank_of_correct(function_name, provenance)
+    return rank is None or rank > n

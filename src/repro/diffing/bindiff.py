@@ -1,0 +1,71 @@
+"""A BinDiff-style differ.
+
+Google BinDiff is the industry-standard graph-matching differ.  The paper
+notes that "since BinDiff takes the advantage of function names, its result is
+much higher than others" — the binaries compared are un-stripped.  The
+re-implementation mirrors that behaviour: exact symbol matches rank first, and
+the remaining candidates are ranked by structural similarity of the
+function-level statistics BinDiff's initial matching uses (basic blocks,
+control-flow edges, calls) plus a call-graph neighbourhood term (BinDiff is
+one of the two tools in Table 1 that does use the call graph).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..backend.binary import Binary, BinaryFunction
+from .base import BinaryDiffer, DiffResult, ToolInfo
+from .features import structural_similarity
+
+
+class BinDiff(BinaryDiffer):
+    info = ToolInfo(name="BinDiff", granularity="function",
+                    symbol_relying=True, time_consuming=False,
+                    memory_consuming=False, callgraph_lacking=False)
+
+    def __init__(self, name_weight: float = 0.6, callgraph_weight: float = 0.15):
+        self.name_weight = name_weight
+        self.callgraph_weight = callgraph_weight
+
+    def diff(self, original: Binary, obfuscated: Binary) -> DiffResult:
+        original_callees = {f.name: original.callees_of(f.name)
+                            for f in original.functions}
+        obfuscated_callees = {f.name: obfuscated.callees_of(f.name)
+                              for f in obfuscated.functions}
+
+        def callgraph_similarity(a: BinaryFunction, b: BinaryFunction) -> float:
+            callees_a = original_callees.get(a.name, set())
+            callees_b = obfuscated_callees.get(b.name, set())
+            if not callees_a and not callees_b:
+                return 1.0
+            union = callees_a | callees_b
+            if not union:
+                return 1.0
+            return len(callees_a & callees_b) / len(union)
+
+        def similarity(a: BinaryFunction, b: BinaryFunction) -> float:
+            structural = structural_similarity(a, b)
+            graph = callgraph_similarity(a, b)
+            score = ((1.0 - self.name_weight - self.callgraph_weight) * structural
+                     + self.callgraph_weight * graph)
+            if not obfuscated.stripped and a.name == b.name:
+                score += self.name_weight
+            else:
+                # name mismatch: the structural part alone decides
+                score += self.name_weight * structural * 0.5
+            return min(1.0, score)
+
+        def structural_only(a: BinaryFunction, b: BinaryFunction) -> float:
+            return (0.85 * structural_similarity(a, b)
+                    + 0.15 * callgraph_similarity(a, b))
+
+        matches = self.rank_by_similarity(original, obfuscated, similarity)
+        # the whole-binary score follows BinDiff's per-pair similarity, which is
+        # structural; symbol names only steer the matching itself
+        structural_matches = self.rank_by_similarity(original, obfuscated,
+                                                     structural_only)
+        score = self.whole_binary_score(structural_matches, original, obfuscated)
+        return DiffResult(tool=self.name, original=original.name,
+                          obfuscated=obfuscated.name, matches=matches,
+                          similarity_score=score)

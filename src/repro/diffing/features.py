@@ -1,0 +1,203 @@
+"""Feature extraction shared by the binary-diffing re-implementations.
+
+The five tools of the paper differ mainly in *which* features they extract
+(Table 1): function-level statistics and names (BinDiff), per-block numeric
+semantic features propagated over the CFG (VulSeeker), token embeddings over
+random-walk/linear instruction sequences (Asm2Vec, SAFE) and per-block
+embeddings with program-wide context (DeepBinDiff).  This module provides the
+shared building blocks: token streams, hashed embedding vectors (deterministic
+random projections — no training required), per-block numeric features and
+neighbourhood aggregation over the CFG.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..backend.binary import Binary, BinaryFunction
+from ..backend.isa import MachineBlock, MachineInstruction, instruction_category
+from ..utils import stable_hash
+
+EMBEDDING_DIM = 64
+
+
+# -- token streams -----------------------------------------------------------------------
+
+
+def operand_shape(operand: str) -> str:
+    """Normalise an operand to its shape (register / immediate / memory / label)."""
+    if operand.startswith("$"):
+        return "imm"
+    if operand.startswith("["):
+        return "mem"
+    if operand.startswith("xmm"):
+        return "freg"
+    return "reg"
+
+
+def instruction_tokens(inst: MachineInstruction) -> List[str]:
+    """Tokens for one instruction.
+
+    The semantic tools (Asm2Vec, SAFE, DeepBinDiff) are known to be robust
+    against local instruction substitution — an ``add`` rewritten as two
+    ``sub``s still embeds close to the original.  To model that robustness the
+    token stream is dominated by the instruction *category* and operand
+    shapes; the raw opcode contributes a single lower-signal token.
+    """
+    category = instruction_category(inst.opcode)
+    tokens = [category, f"op.{inst.opcode}"]
+    tokens.extend(f"{category}.{operand_shape(op)}" for op in inst.operands)
+    if inst.call_target is not None:
+        tokens.append("call.direct")
+    return tokens
+
+
+def block_tokens(block: MachineBlock) -> List[str]:
+    tokens: List[str] = []
+    for inst in block.instructions:
+        tokens.extend(instruction_tokens(inst))
+    return tokens
+
+
+def function_tokens(function: BinaryFunction) -> List[str]:
+    tokens: List[str] = []
+    for block in function.blocks:
+        tokens.extend(block_tokens(block))
+    return tokens
+
+
+# -- hashed embeddings --------------------------------------------------------------------
+
+
+def token_vector(token: str, dim: int = EMBEDDING_DIM) -> List[float]:
+    """A deterministic pseudo-random unit-ish vector for a token."""
+    vector = []
+    for i in range(dim):
+        h = stable_hash("tok", token, i, bits=16)
+        vector.append((h / float(1 << 16)) * 2.0 - 1.0)
+    return vector
+
+
+_TOKEN_CACHE: Dict[Tuple[str, int], List[float]] = {}
+
+
+def cached_token_vector(token: str, dim: int = EMBEDDING_DIM) -> List[float]:
+    key = (token, dim)
+    cached = _TOKEN_CACHE.get(key)
+    if cached is None:
+        cached = token_vector(token, dim)
+        _TOKEN_CACHE[key] = cached
+    return cached
+
+
+def embed_tokens(tokens: Sequence[str], dim: int = EMBEDDING_DIM,
+                 weights: Sequence[float] = None) -> List[float]:
+    """Weighted bag-of-tokens embedding."""
+    result = [0.0] * dim
+    if not tokens:
+        return result
+    for index, token in enumerate(tokens):
+        weight = weights[index] if weights is not None else 1.0
+        vector = cached_token_vector(token, dim)
+        for i in range(dim):
+            result[i] += weight * vector[i]
+    return result
+
+
+def add_scaled(target: List[float], source: Sequence[float], scale: float) -> None:
+    for i in range(len(target)):
+        target[i] += scale * source[i]
+
+
+def cosine(a: Sequence[float], b: Sequence[float]) -> float:
+    dot = sum(x * y for x, y in zip(a, b))
+    norm_a = math.sqrt(sum(x * x for x in a))
+    norm_b = math.sqrt(sum(y * y for y in b))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 1.0 if norm_a == norm_b else 0.0
+    return dot / (norm_a * norm_b)
+
+
+def normalised_similarity(a: Sequence[float], b: Sequence[float]) -> float:
+    """Cosine similarity squashed into [0, 1]."""
+    return (cosine(a, b) + 1.0) / 2.0
+
+
+# -- numeric block / function features -------------------------------------------------------
+
+BLOCK_FEATURE_NAMES = (
+    "instructions", "arithmetic", "transfer", "call", "move", "stack",
+    "compare", "other", "immediates", "memory_refs",
+)
+
+
+def block_numeric_features(block: MachineBlock) -> List[float]:
+    counts = {name: 0.0 for name in BLOCK_FEATURE_NAMES}
+    counts["instructions"] = float(len(block.instructions))
+    for inst in block.instructions:
+        category = instruction_category(inst.opcode)
+        if category in counts:
+            counts[category] += 1.0
+        else:
+            counts["other"] += 1.0
+        counts["immediates"] += sum(1.0 for op in inst.operands
+                                    if op.startswith("$"))
+        counts["memory_refs"] += sum(1.0 for op in inst.operands
+                                     if op.startswith("["))
+    return [counts[name] for name in BLOCK_FEATURE_NAMES]
+
+
+def function_numeric_features(function: BinaryFunction) -> List[float]:
+    """BinDiff-style structural statistics of one function."""
+    return [
+        float(function.block_count),
+        float(function.edge_count),
+        float(function.call_count),
+        float(function.instruction_count),
+        float(function.size),
+    ]
+
+
+def structural_similarity(a: BinaryFunction, b: BinaryFunction) -> float:
+    """Similarity of two functions from their structural statistics (0..1)."""
+    fa = function_numeric_features(a)
+    fb = function_numeric_features(b)
+    score = 0.0
+    for x, y in zip(fa, fb):
+        hi = max(x, y)
+        score += 1.0 if hi == 0 else min(x, y) / hi
+    return score / len(fa)
+
+
+# -- graph-context aggregation ----------------------------------------------------------------
+
+
+def propagate_over_cfg(function: BinaryFunction,
+                       block_vectors: Dict[str, List[float]],
+                       iterations: int = 2, damping: float = 0.5) -> Dict[str, List[float]]:
+    """structure2vec-style neighbour aggregation of per-block vectors."""
+    current = {label: list(vector) for label, vector in block_vectors.items()}
+    predecessors: Dict[str, List[str]] = {b.label: [] for b in function.blocks}
+    for block in function.blocks:
+        for successor in block.successors:
+            predecessors.setdefault(successor, []).append(block.label)
+
+    for _ in range(iterations):
+        updated: Dict[str, List[float]] = {}
+        for block in function.blocks:
+            base = list(block_vectors[block.label])
+            neighbours = list(block.successors) + predecessors.get(block.label, [])
+            for neighbour in neighbours:
+                if neighbour in current:
+                    add_scaled(base, current[neighbour], damping / max(1, len(neighbours)))
+            updated[block.label] = base
+        current = updated
+    return current
+
+
+def aggregate(vectors: Iterable[Sequence[float]], dim: int) -> List[float]:
+    total = [0.0] * dim
+    for vector in vectors:
+        add_scaled(total, vector, 1.0)
+    return total

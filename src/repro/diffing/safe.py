@@ -1,0 +1,67 @@
+"""A SAFE-style differ.
+
+SAFE (Massarelli et al., DIMVA 2019) embeds the *linear* instruction sequence
+of a function with a self-attentive recurrent network.  The re-implementation
+keeps the sequence view: instruction tokens are embedded (hashed projections),
+combined with their local bigram context, and weighted by a smooth positional
+attention profile that emphasises the middle of the function over the
+prologue/epilogue boilerplate.  No CFG, call-graph or symbol information is
+used (Table 1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from ..backend.binary import Binary, BinaryFunction
+from .base import BinaryDiffer, DiffResult, ToolInfo
+from .features import (EMBEDDING_DIM, add_scaled, cached_token_vector,
+                       instruction_tokens, normalised_similarity)
+
+
+class Safe(BinaryDiffer):
+    info = ToolInfo(name="Safe", granularity="function",
+                    symbol_relying=False, time_consuming=False,
+                    memory_consuming=False, callgraph_lacking=True)
+
+    def __init__(self, dim: int = EMBEDDING_DIM, max_instructions: int = 250):
+        self.dim = dim
+        self.max_instructions = max_instructions
+
+    def _attention_weight(self, position: int, length: int) -> float:
+        if length <= 1:
+            return 1.0
+        # a raised-cosine profile: prologue/epilogue get lower weight
+        phase = position / (length - 1)
+        return 0.5 + 0.5 * math.sin(math.pi * phase)
+
+    def _function_embedding(self, function: BinaryFunction) -> List[float]:
+        instructions = function.instructions()[:self.max_instructions]
+        embedding = [0.0] * self.dim
+        length = len(instructions)
+        previous_opcode = "<s>"
+        for position, inst in enumerate(instructions):
+            weight = self._attention_weight(position, length)
+            for token in instruction_tokens(inst):
+                add_scaled(embedding, cached_token_vector(token, self.dim), weight)
+            bigram = f"{previous_opcode}->{inst.opcode}"
+            add_scaled(embedding, cached_token_vector(bigram, self.dim), 0.5 * weight)
+            previous_opcode = inst.opcode
+        return embedding
+
+    def diff(self, original: Binary, obfuscated: Binary) -> DiffResult:
+        original_embeddings = {f.name: self._function_embedding(f)
+                               for f in original.functions}
+        obfuscated_embeddings = {f.name: self._function_embedding(f)
+                                 for f in obfuscated.functions}
+
+        def similarity(a: BinaryFunction, b: BinaryFunction) -> float:
+            return normalised_similarity(original_embeddings[a.name],
+                                         obfuscated_embeddings[b.name])
+
+        matches = self.rank_by_similarity(original, obfuscated, similarity)
+        score = self.whole_binary_score(matches, original, obfuscated)
+        return DiffResult(tool=self.name, original=original.name,
+                          obfuscated=obfuscated.name, matches=matches,
+                          similarity_score=score)

@@ -1,0 +1,54 @@
+"""A VulSeeker-style differ.
+
+VulSeeker (Gao et al., ASE 2018) builds a *labelled semantic flow graph* per
+function: every basic block is summarised by a small vector of numeric
+features (instruction class counts), the vectors are propagated over the
+control/data-flow structure with a structure2vec-like aggregation, and the
+function embedding is their sum.  Matching is cosine similarity between
+function embeddings.  Per Table 1 the tool is time- and memory-hungry and
+does not use the call graph or symbols.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..backend.binary import Binary, BinaryFunction
+from .base import BinaryDiffer, DiffResult, ToolInfo
+from .features import (aggregate, block_numeric_features, normalised_similarity,
+                       propagate_over_cfg, BLOCK_FEATURE_NAMES)
+
+
+class VulSeeker(BinaryDiffer):
+    info = ToolInfo(name="VulSeeker", granularity="function",
+                    symbol_relying=False, time_consuming=True,
+                    memory_consuming=True, callgraph_lacking=True)
+
+    def __init__(self, iterations: int = 2):
+        self.iterations = iterations
+
+    def _function_embedding(self, function: BinaryFunction) -> List[float]:
+        block_vectors: Dict[str, List[float]] = {
+            block.label: block_numeric_features(block)
+            for block in function.blocks}
+        if not block_vectors:
+            return [0.0] * len(BLOCK_FEATURE_NAMES)
+        propagated = propagate_over_cfg(function, block_vectors,
+                                        iterations=self.iterations)
+        return aggregate(propagated.values(), len(BLOCK_FEATURE_NAMES))
+
+    def diff(self, original: Binary, obfuscated: Binary) -> DiffResult:
+        original_embeddings = {f.name: self._function_embedding(f)
+                               for f in original.functions}
+        obfuscated_embeddings = {f.name: self._function_embedding(f)
+                                 for f in obfuscated.functions}
+
+        def similarity(a: BinaryFunction, b: BinaryFunction) -> float:
+            return normalised_similarity(original_embeddings[a.name],
+                                         obfuscated_embeddings[b.name])
+
+        matches = self.rank_by_similarity(original, obfuscated, similarity)
+        score = self.whole_binary_score(matches, original, obfuscated)
+        return DiffResult(tool=self.name, original=original.name,
+                          obfuscated=obfuscated.name, matches=matches,
+                          similarity_score=score)

@@ -1,0 +1,22 @@
+"""Experiment drivers: one per table / figure of the paper's evaluation."""
+
+from .overhead import OverheadReport, OverheadRow, figure6, figure7, measure_overhead
+from .precision import PrecisionReport, PrecisionRow, figure8, measure_precision
+from .escape import (ESCAPE_LABELS, ESCAPE_RANKS, EscapeReport, EscapeRow,
+                     figure10, measure_escape)
+from .bintuner_compare import BinTunerReport, SimilarityRow, figure9, measure_bintuner
+from .opcode_distance import DistanceReport, figure11, measure_opcode_distance
+from .internals import InternalsReport, InternalsRow, measure_internals, table2
+from .reporting import format_table, matrix_table, overhead_table
+from .experiments import EXPERIMENTS, Experiment, experiment_names, run_experiment
+
+__all__ = [
+    "OverheadReport", "OverheadRow", "figure6", "figure7", "measure_overhead",
+    "PrecisionReport", "PrecisionRow", "figure8", "measure_precision",
+    "ESCAPE_LABELS", "ESCAPE_RANKS", "EscapeReport", "EscapeRow", "figure10",
+    "measure_escape", "BinTunerReport", "SimilarityRow", "figure9",
+    "measure_bintuner", "DistanceReport", "figure11", "measure_opcode_distance",
+    "InternalsReport", "InternalsRow", "measure_internals", "table2",
+    "format_table", "matrix_table", "overhead_table", "EXPERIMENTS",
+    "Experiment", "experiment_names", "run_experiment",
+]

@@ -1,0 +1,105 @@
+"""Compiler-option comparison: Figure 9 (BinDiff similarity, BinTuner vs Khaos).
+
+Following section 4.2 ("Compared with compiler options"), BinTuner iteratively
+searches compiler options against an O0 baseline, Khaos uses FuFi.all on the
+standard O2 + LTO build, and both resulting binaries are compared by BinDiff
+against the program compiled at O0, O1, O2 and O3.  The paper additionally
+reports BinTuner's runtime overhead against the O2 + LTO baseline (30.35%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines.bintuner import BinTuner
+from ..backend.lowering import lower_program
+from ..diffing.bindiff import BinDiff
+from ..opt.pass_manager import OptOptions
+from ..opt.pipelines import optimize_program
+from ..toolchain import build_obfuscated, obfuscator_for
+from ..utils import geometric_mean
+from ..vm.machine import run_program
+from ..workloads.suites import (SPECINT_2006, SPECSPEED_2017, WorkloadProgram,
+                                find_program)
+
+OPT_LEVELS = (0, 1, 2, 3)
+
+
+@dataclass
+class SimilarityRow:
+    program: str
+    protection: str          # "bintuner" or "khaos"
+    opt_level: int
+    similarity: float
+
+
+@dataclass
+class BinTunerReport:
+    rows: List[SimilarityRow] = field(default_factory=list)
+    bintuner_overhead_percent: float = 0.0
+
+    def similarity(self, protection: str, opt_level: int) -> float:
+        values = [row.similarity for row in self.rows
+                  if row.protection == protection and row.opt_level == opt_level]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def geomean(self, protection: str, opt_level: int) -> float:
+        values = [row.similarity for row in self.rows
+                  if row.protection == protection and row.opt_level == opt_level]
+        if not values:
+            return 0.0
+        return geometric_mean([v - 1.0 for v in values]) + 1.0
+
+
+def default_programs() -> List[WorkloadProgram]:
+    names = list(SPECINT_2006) + list(SPECSPEED_2017)
+    return [find_program(name) for name in names]
+
+
+def measure_bintuner(workloads: Sequence[WorkloadProgram],
+                     tuner_iterations: int = 6) -> BinTunerReport:
+    differ = BinDiff()
+    report = BinTunerReport()
+    overheads: List[float] = []
+
+    for workload in workloads:
+        level_binaries = {}
+        for level in OPT_LEVELS:
+            options = OptOptions(level=level, lto=level >= 2)
+            level_binaries[level] = lower_program(
+                optimize_program(workload.build(), options))
+
+        tuner = BinTuner(iterations=tuner_iterations)
+        tuned = tuner.tune(workload.build())
+        khaos = build_obfuscated(workload.build(), obfuscator_for("fufi.all"))
+
+        for level in OPT_LEVELS:
+            reference = level_binaries[level]
+            report.rows.append(SimilarityRow(
+                program=workload.name, protection="bintuner", opt_level=level,
+                similarity=differ.diff(reference, tuned.best_binary).similarity_score))
+            report.rows.append(SimilarityRow(
+                program=workload.name, protection="khaos", opt_level=level,
+                similarity=differ.diff(reference, khaos.binary).similarity_score))
+
+        # BinTuner overhead vs the O2+LTO baseline (paper: 30.35%)
+        baseline_run = run_program(optimize_program(workload.build(), OptOptions()))
+        tuned_run = run_program(optimize_program(workload.build(),
+                                                 tuned.best_options))
+        base = baseline_run.cycles or 1
+        overheads.append((tuned_run.cycles - base) / base)
+
+    report.bintuner_overhead_percent = geometric_mean(overheads) * 100.0
+    return report
+
+
+def figure9(limit: Optional[int] = 4,
+            tuner_iterations: int = 6) -> BinTunerReport:
+    """Figure 9 on a subset of SPECint 2006 + SPECspeed 2017 (``limit=None`` = all)."""
+    workloads = default_programs()
+    if limit is not None:
+        workloads = workloads[:limit]
+    return measure_bintuner(workloads, tuner_iterations=tuner_iterations)

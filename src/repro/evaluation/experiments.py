@@ -1,0 +1,97 @@
+"""Registry of the paper's tables and figures and how to regenerate them.
+
+Each entry maps an experiment identifier (``figure6`` … ``table3``) to a
+callable that produces the corresponding report, plus a short description.
+``run_experiment(name, quick=True)`` is what the benchmark harness and the
+examples call; ``quick=False`` removes the subset limits and reproduces the
+full-size experiment (slow in pure Python).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..diffing import tool_table
+from ..workloads.suites import EMBEDDED_VULNERABILITIES
+from .bintuner_compare import figure9
+from .escape import figure10
+from .internals import table2
+from .opcode_distance import figure11
+from .overhead import figure6, figure7
+from .precision import figure8
+
+
+@dataclass
+class Experiment:
+    name: str
+    description: str
+    quick: Callable[[], object]
+    full: Callable[[], object]
+
+
+def _table1() -> List[Dict[str, str]]:
+    return tool_table()
+
+
+def _table3() -> Dict[str, tuple]:
+    return dict(EMBEDDED_VULNERABILITIES)
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    "figure6": Experiment(
+        "figure6",
+        "Runtime overhead of Fission/Fusion/FuFi.* on SPEC CPU 2006 & 2017",
+        quick=lambda: figure6(limit=4),
+        full=lambda: figure6(limit=None)),
+    "figure7": Experiment(
+        "figure7",
+        "Runtime overhead of O-LLVM (Sub/Bog/Fla/Fla-10) vs Khaos",
+        quick=lambda: figure7(limit=3),
+        full=lambda: figure7(limit=None)),
+    "figure8": Experiment(
+        "figure8",
+        "Precision@1 of the five diffing tools under eight obfuscations",
+        quick=lambda: figure8(limit_spec=2, limit_coreutils=2),
+        full=lambda: figure8(limit_spec=None, limit_coreutils=None)),
+    "figure9": Experiment(
+        "figure9",
+        "BinDiff similarity score: BinTuner vs Khaos across O0-O3",
+        quick=lambda: figure9(limit=2),
+        full=lambda: figure9(limit=None)),
+    "figure10": Experiment(
+        "figure10",
+        "escape@1/10/50 of the T-III vulnerable functions",
+        quick=lambda: figure10(limit=2),
+        full=lambda: figure10(limit=None)),
+    "figure11": Experiment(
+        "figure11",
+        "Normalised opcode histogram distance of obfuscated binaries",
+        quick=lambda: figure11(limit=3),
+        full=lambda: figure11(limit=None)),
+    "table1": Experiment(
+        "table1",
+        "Characteristics of the chosen diffing tools",
+        quick=_table1, full=_table1),
+    "table2": Experiment(
+        "table2",
+        "Fission/fusion internal statistics (ratios, #BB, RR, #RP, #HBB)",
+        quick=lambda: table2(limit=3),
+        full=lambda: table2(limit=None)),
+    "table3": Experiment(
+        "table3",
+        "Vulnerable functions and CVEs of the T-III programs",
+        quick=_table3, full=_table3),
+}
+
+
+def experiment_names() -> List[str]:
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(name: str, quick: bool = True):
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; "
+                       f"expected one of {experiment_names()}")
+    experiment = EXPERIMENTS[name]
+    return experiment.quick() if quick else experiment.full()

@@ -1,0 +1,100 @@
+"""Khaos internal statistics: Table 2.
+
+The table reports, separately for SPEC CPU 2006, SPEC CPU 2017 and CoreUtils:
+
+* fission ratio (#sepFuncs / #oriFuncs), average sepFunc size in basic blocks
+  (#BB) and the reduction ratio of the split functions (RR);
+* fusion ratio (fraction of candidates aggregated), parameters saved by the
+  compression (#RP) and innocuous blocks per fused function (#HBB).
+
+The statistics come from running the fission and fusion primitives
+individually (no combination), exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import KhaosConfig, Mode
+from ..core.obfuscator import Khaos
+from ..workloads.suites import (WorkloadProgram, coreutils_programs,
+                                spec2006_programs, spec2017_programs)
+
+
+@dataclass
+class InternalsRow:
+    suite: str
+    fission_ratio: float
+    avg_sepfunc_blocks: float
+    reduction_ratio: float
+    fusion_ratio: float
+    avg_reduced_params: float
+    avg_innocuous_blocks: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "Fission Ratio": self.fission_ratio,
+            "#BB": self.avg_sepfunc_blocks,
+            "RR": self.reduction_ratio,
+            "Fusion Ratio": self.fusion_ratio,
+            "#RP": self.avg_reduced_params,
+            "#HBB": self.avg_innocuous_blocks,
+        }
+
+
+@dataclass
+class InternalsReport:
+    rows: Dict[str, InternalsRow] = field(default_factory=dict)
+
+    def as_table(self) -> Dict[str, Dict[str, float]]:
+        return {suite: row.as_dict() for suite, row in self.rows.items()}
+
+
+def measure_internals(workloads_by_suite: Dict[str, Sequence[WorkloadProgram]],
+                      seed: int = 0x5EED) -> InternalsReport:
+    report = InternalsReport()
+    for suite, workloads in workloads_by_suite.items():
+        fission_ratios: List[float] = []
+        sepfunc_blocks: List[float] = []
+        reductions: List[float] = []
+        fusion_ratios: List[float] = []
+        reduced_params: List[float] = []
+        innocuous: List[float] = []
+
+        for workload in workloads:
+            fission = Khaos(KhaosConfig(mode=Mode.FISSION, seed=seed)).obfuscate(
+                workload.build())
+            fusion = Khaos(KhaosConfig(mode=Mode.FUSION, seed=seed)).obfuscate(
+                workload.build())
+            fission_ratios.append(fission.stats.fission.ratio)
+            sepfunc_blocks.append(fission.stats.fission.avg_sepfunc_blocks)
+            reductions.append(fission.stats.fission.reduction_ratio)
+            fusion_ratios.append(fusion.stats.fusion.ratio)
+            reduced_params.append(fusion.stats.fusion.avg_reduced_params)
+            innocuous.append(fusion.stats.fusion.avg_innocuous_blocks)
+
+        def mean(values: List[float]) -> float:
+            return sum(values) / len(values) if values else 0.0
+
+        report.rows[suite] = InternalsRow(
+            suite=suite,
+            fission_ratio=mean(fission_ratios),
+            avg_sepfunc_blocks=mean(sepfunc_blocks),
+            reduction_ratio=mean(reductions),
+            fusion_ratio=mean(fusion_ratios),
+            avg_reduced_params=mean(reduced_params),
+            avg_innocuous_blocks=mean(innocuous))
+    return report
+
+
+def table2(limit: Optional[int] = 5) -> InternalsReport:
+    """Table 2 over (a subset of) SPEC 2006, SPEC 2017 and CoreUtils."""
+    def cut(workloads: List[WorkloadProgram]) -> List[WorkloadProgram]:
+        return workloads if limit is None else workloads[:limit]
+
+    return measure_internals({
+        "SPEC CPU 2006": cut(spec2006_programs()),
+        "SPEC CPU 2017": cut(spec2017_programs()),
+        "CoreUtils": cut(coreutils_programs()),
+    })

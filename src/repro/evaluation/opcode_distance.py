@@ -1,0 +1,72 @@
+"""Opcode histogram distance experiment: Figure 11.
+
+The paper disassembles every binary (objdump), builds opcode histograms and
+reports, per program, the vector distance between the original and each
+obfuscated binary, normalised by the largest distance observed for that
+program.  FuFi.all is expected to have the largest distance, followed by
+FuFi.sep and FuFi.ori.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..backend.disassembler import normalised_distances
+from ..baselines.bintuner import BinTuner
+from ..opt.pass_manager import OptOptions
+from ..toolchain import build_baseline, build_obfuscated, obfuscator_for
+from ..workloads.suites import WorkloadProgram, spec2006_programs, spec2017_programs
+
+DISTANCE_LABELS = ("sub", "bog", "fla-10", "bintuner", "fission", "fusion",
+                   "fufi.sep", "fufi.ori", "fufi.all")
+
+
+@dataclass
+class DistanceReport:
+    # program -> label -> normalised distance
+    distances: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def labels(self) -> List[str]:
+        seen: List[str] = []
+        for per_program in self.distances.values():
+            for label in per_program:
+                if label not in seen:
+                    seen.append(label)
+        return seen
+
+    def average(self, label: str) -> float:
+        values = [per_program[label] for per_program in self.distances.values()
+                  if label in per_program]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+
+def measure_opcode_distance(workloads: Sequence[WorkloadProgram],
+                            labels: Sequence[str] = DISTANCE_LABELS,
+                            options: Optional[OptOptions] = None,
+                            tuner_iterations: int = 4) -> DistanceReport:
+    report = DistanceReport()
+    for workload in workloads:
+        baseline = build_baseline(workload.build(), options)
+        obfuscated = {}
+        for label in labels:
+            if label == "bintuner":
+                tuner = BinTuner(iterations=tuner_iterations)
+                obfuscated[label] = tuner.tune(workload.build()).best_binary
+            else:
+                obfuscated[label] = build_obfuscated(
+                    workload.build(), obfuscator_for(label), options).binary
+        report.distances[workload.name] = normalised_distances(
+            baseline.binary, obfuscated)
+    return report
+
+
+def figure11(limit: Optional[int] = 6,
+             options: Optional[OptOptions] = None) -> DistanceReport:
+    """Figure 11 on a subset of T-I (``limit=None`` reproduces the full figure)."""
+    workloads = spec2006_programs() + spec2017_programs()
+    if limit is not None:
+        workloads = workloads[:limit]
+    return measure_opcode_distance(workloads, options=options)

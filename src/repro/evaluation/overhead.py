@@ -1,0 +1,99 @@
+"""Runtime-overhead experiments: Figure 6 and Figure 7.
+
+Figure 6 reports the per-program runtime overhead of the five Khaos variants
+on SPEC CPU 2006 and 2017; Figure 7 compares their geometric means against
+the O-LLVM baselines (Sub, Bog, Fla, Fla-10).  Here "runtime" is the dynamic
+cycle count of the interpreter (see DESIGN.md for the substitution), so the
+columns are directly comparable between baseline and obfuscated builds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..opt.pass_manager import OptOptions
+from ..toolchain import (ALL_LABELS, KHAOS_LABELS, build_baseline,
+                         build_obfuscated, obfuscator_for, overhead_percent)
+from ..utils import geometric_mean
+from ..workloads.suites import WorkloadProgram, spec2006_programs, spec2017_programs
+
+
+@dataclass
+class OverheadRow:
+    program: str
+    suite: str
+    label: str
+    baseline_cycles: int
+    cycles: int
+
+    @property
+    def overhead_percent(self) -> float:
+        base = self.baseline_cycles or 1
+        return (self.cycles - base) / base * 100.0
+
+
+@dataclass
+class OverheadReport:
+    rows: List[OverheadRow] = field(default_factory=list)
+
+    def labels(self) -> List[str]:
+        seen: List[str] = []
+        for row in self.rows:
+            if row.label not in seen:
+                seen.append(row.label)
+        return seen
+
+    def programs(self) -> List[str]:
+        seen: List[str] = []
+        for row in self.rows:
+            if row.program not in seen:
+                seen.append(row.program)
+        return seen
+
+    def overhead(self, program: str, label: str) -> Optional[float]:
+        for row in self.rows:
+            if row.program == program and row.label == label:
+                return row.overhead_percent
+        return None
+
+    def geomean(self, label: str, suite: Optional[str] = None) -> float:
+        values = [row.overhead_percent / 100.0 for row in self.rows
+                  if row.label == label and (suite is None or row.suite == suite)]
+        return geometric_mean(values) * 100.0
+
+
+def measure_overhead(workloads: Sequence[WorkloadProgram],
+                     labels: Sequence[str] = KHAOS_LABELS,
+                     options: Optional[OptOptions] = None) -> OverheadReport:
+    """Run every workload under the baseline and each obfuscation label."""
+    report = OverheadReport()
+    for workload in workloads:
+        baseline = build_baseline(workload.build(), options, run=True)
+        for label in labels:
+            variant = build_obfuscated(workload.build(), obfuscator_for(label),
+                                       options, run=True)
+            report.rows.append(OverheadRow(
+                program=workload.name, suite=workload.suite, label=label,
+                baseline_cycles=baseline.execution.cycles,
+                cycles=variant.execution.cycles))
+    return report
+
+
+def figure6(limit: Optional[int] = None,
+            options: Optional[OptOptions] = None) -> OverheadReport:
+    """Figure 6: Khaos overhead on the SPEC CPU 2006/2017 programs."""
+    workloads = spec2006_programs() + spec2017_programs()
+    if limit is not None:
+        workloads = workloads[:limit]
+    return measure_overhead(workloads, KHAOS_LABELS, options)
+
+
+def figure7(limit: Optional[int] = None,
+            options: Optional[OptOptions] = None) -> OverheadReport:
+    """Figure 7: O-LLVM (Sub/Bog/Fla/Fla-10) vs Khaos overhead."""
+    workloads = spec2006_programs() + spec2017_programs()
+    if limit is not None:
+        workloads = workloads[:limit]
+    labels = ("sub", "bog", "fla", "fla-10") + tuple(KHAOS_LABELS)
+    return measure_overhead(workloads, labels, options)

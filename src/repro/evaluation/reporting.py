@@ -1,0 +1,64 @@
+"""Plain-text rendering of the experiment reports (paper-style rows)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render a fixed-width text table."""
+    columns = [list(map(str, column)) for column in
+               zip(*([headers] + [list(map(_fmt, row)) for row in rows]))] \
+        if rows else [[h] for h in headers]
+    widths = [max(len(cell) for cell in column) for column in columns]
+
+    def render_row(cells: Sequence[object]) -> str:
+        return " | ".join(str(_fmt(cell)).ljust(width)
+                          for cell, width in zip(cells, widths))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> object:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return value
+
+
+def matrix_table(matrix: Mapping[str, Mapping[str, float]],
+                 row_title: str = "row", title: str = "") -> str:
+    """Render a nested mapping {row: {column: value}} as a table."""
+    rows = list(matrix)
+    columns: List[str] = []
+    for row in rows:
+        for column in matrix[row]:
+            if column not in columns:
+                columns.append(column)
+    table_rows = [[row] + [matrix[row].get(column, "") for column in columns]
+                  for row in rows]
+    return format_table([row_title] + columns, table_rows, title=title)
+
+
+def overhead_table(report, suites: Optional[Sequence[str]] = None,
+                   title: str = "") -> str:
+    """Per-program overhead rows plus the geometric-mean row (Figures 6/7)."""
+    labels = report.labels()
+    rows = []
+    for program in report.programs():
+        row = [program]
+        for label in labels:
+            value = report.overhead(program, label)
+            row.append("" if value is None else f"{value:.1f}%")
+        rows.append(row)
+    geomean_row = ["GEOMEAN"]
+    for label in labels:
+        geomean_row.append(f"{report.geomean(label):.1f}%")
+    rows.append(geomean_row)
+    return format_table(["program"] + list(labels), rows, title=title)

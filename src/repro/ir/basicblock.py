@@ -1,0 +1,66 @@
+"""Basic blocks: straight-line instruction sequences ending in a terminator."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from .instructions import Instruction, Terminator
+
+
+class BasicBlock:
+    """A single-entry, single-exit-point sequence of instructions.
+
+    Blocks are identified by name within their parent function.  Successor
+    edges are derived from the terminator; predecessor edges are computed on
+    demand by :meth:`repro.ir.function.Function.predecessors`.
+    """
+
+    def __init__(self, name: str, parent=None):
+        self.name = name
+        self.parent = parent  # owning Function
+        self.instructions: List[Instruction] = []
+
+    # -- structural helpers -------------------------------------------------------
+
+    def append(self, instruction: Instruction) -> Instruction:
+        instruction.parent = self
+        self.instructions.append(instruction)
+        return instruction
+
+    def insert(self, index: int, instruction: Instruction) -> Instruction:
+        instruction.parent = self
+        self.instructions.insert(index, instruction)
+        return instruction
+
+    def remove(self, instruction: Instruction) -> None:
+        self.instructions.remove(instruction)
+        instruction.parent = None
+
+    @property
+    def terminator(self) -> Optional[Terminator]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def successors(self) -> List["BasicBlock"]:
+        term = self.terminator
+        return list(term.successors()) if term is not None else []
+
+    def non_terminator_instructions(self) -> List[Instruction]:
+        term = self.terminator
+        if term is None:
+            return list(self.instructions)
+        return self.instructions[:-1]
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BasicBlock {self.name} ({len(self.instructions)} insts)>"

@@ -1,0 +1,188 @@
+"""A convenience builder for constructing IR, modelled after ``IRBuilder``.
+
+The builder keeps an insertion point (a basic block) and offers one method per
+instruction kind.  The workload generators and the obfuscation passes both use
+it, so it also provides small conveniences such as automatic constant wrapping
+and fresh name generation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from .basicblock import BasicBlock
+from .function import Function, Linkage
+from .instructions import (Alloca, BinaryOp, Branch, Call, Cast, Compare,
+                           CondBranch, GetElementPtr, Instruction, Load, Ret,
+                           Select, Store, Switch, Unreachable)
+from .module import Module
+from .types import (FloatType, FunctionType, IntType, PointerType, Type, I1,
+                    I32, I64, VOID)
+from .values import Constant, Value
+
+
+Operand = Union[Value, int, float]
+
+
+class IRBuilder:
+    """Builds instructions at a movable insertion point."""
+
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self.block = block
+        self._counter = 0
+
+    # -- positioning --------------------------------------------------------------
+
+    def position_at_end(self, block: BasicBlock) -> "IRBuilder":
+        self.block = block
+        return self
+
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def _emit(self, inst: Instruction) -> Instruction:
+        if self.block is None:
+            raise RuntimeError("builder has no insertion block")
+        if self.block.is_terminated:
+            raise RuntimeError(
+                f"block {self.block.name} already terminated; cannot append "
+                f"{inst.opcode}")
+        return self.block.append(inst)
+
+    def _coerce(self, value: Operand, type_hint: Optional[Type] = None) -> Value:
+        if isinstance(value, Value):
+            return value
+        if isinstance(value, bool):
+            return Constant(I1, int(value))
+        if isinstance(value, int):
+            return Constant(type_hint if isinstance(type_hint, IntType) else I64,
+                            value)
+        if isinstance(value, float):
+            return Constant(type_hint if isinstance(type_hint, FloatType)
+                            else FloatType(64), value)
+        raise TypeError(f"cannot coerce {value!r} to an IR value")
+
+    # -- arithmetic / logic -------------------------------------------------------
+
+    def binop(self, op: str, lhs: Operand, rhs: Operand, name: str = "") -> BinaryOp:
+        lhs = self._coerce(lhs)
+        rhs = self._coerce(rhs, lhs.type)
+        return self._emit(BinaryOp(op, lhs, rhs, name=name or self._fresh("t")))
+
+    def add(self, lhs, rhs, name=""):
+        return self.binop("add", lhs, rhs, name)
+
+    def sub(self, lhs, rhs, name=""):
+        return self.binop("sub", lhs, rhs, name)
+
+    def mul(self, lhs, rhs, name=""):
+        return self.binop("mul", lhs, rhs, name)
+
+    def sdiv(self, lhs, rhs, name=""):
+        return self.binop("sdiv", lhs, rhs, name)
+
+    def srem(self, lhs, rhs, name=""):
+        return self.binop("srem", lhs, rhs, name)
+
+    def and_(self, lhs, rhs, name=""):
+        return self.binop("and", lhs, rhs, name)
+
+    def or_(self, lhs, rhs, name=""):
+        return self.binop("or", lhs, rhs, name)
+
+    def xor(self, lhs, rhs, name=""):
+        return self.binop("xor", lhs, rhs, name)
+
+    def shl(self, lhs, rhs, name=""):
+        return self.binop("shl", lhs, rhs, name)
+
+    def ashr(self, lhs, rhs, name=""):
+        return self.binop("ashr", lhs, rhs, name)
+
+    def fadd(self, lhs, rhs, name=""):
+        return self.binop("fadd", lhs, rhs, name)
+
+    def fsub(self, lhs, rhs, name=""):
+        return self.binop("fsub", lhs, rhs, name)
+
+    def fmul(self, lhs, rhs, name=""):
+        return self.binop("fmul", lhs, rhs, name)
+
+    def fdiv(self, lhs, rhs, name=""):
+        return self.binop("fdiv", lhs, rhs, name)
+
+    def icmp(self, predicate: str, lhs: Operand, rhs: Operand, name: str = "") -> Compare:
+        lhs = self._coerce(lhs)
+        rhs = self._coerce(rhs, lhs.type)
+        return self._emit(Compare(predicate, lhs, rhs,
+                                  name=name or self._fresh("cmp")))
+
+    def select(self, cond: Value, a: Operand, b: Operand, name: str = "") -> Select:
+        a = self._coerce(a)
+        b = self._coerce(b, a.type)
+        return self._emit(Select(cond, a, b, name=name or self._fresh("sel")))
+
+    # -- memory -------------------------------------------------------------------
+
+    def alloca(self, type_: Type, count: int = 1, name: str = "") -> Alloca:
+        return self._emit(Alloca(type_, count, name=name or self._fresh("ptr")))
+
+    def load(self, pointer: Value, name: str = "") -> Load:
+        return self._emit(Load(pointer, name=name or self._fresh("v")))
+
+    def store(self, value: Operand, pointer: Value) -> Store:
+        value = self._coerce(value, pointer.type.pointee
+                             if isinstance(pointer.type, PointerType) else None)
+        return self._emit(Store(value, pointer))
+
+    def gep(self, pointer: Value, index: Operand, name: str = "") -> GetElementPtr:
+        index = self._coerce(index)
+        return self._emit(GetElementPtr(pointer, index,
+                                        name=name or self._fresh("gep")))
+
+    def cast(self, kind: str, value: Operand, to_type: Type, name: str = "") -> Cast:
+        value = self._coerce(value)
+        return self._emit(Cast(kind, value, to_type,
+                               name=name or self._fresh("cast")))
+
+    # -- calls & control flow -----------------------------------------------------
+
+    def call(self, callee: Value, args: Sequence[Operand], name: str = "",
+             may_throw: bool = False) -> Call:
+        coerced = [self._coerce(a) for a in args]
+        return self._emit(Call(callee, coerced,
+                               name=name or self._fresh("call"),
+                               may_throw=may_throw))
+
+    def ret(self, value: Optional[Operand] = None) -> Ret:
+        if value is not None:
+            value = self._coerce(value)
+        return self._emit(Ret(value))
+
+    def br(self, target: BasicBlock) -> Branch:
+        return self._emit(Branch(target))
+
+    def cond_br(self, condition: Value, true_target: BasicBlock,
+                false_target: BasicBlock) -> CondBranch:
+        return self._emit(CondBranch(condition, true_target, false_target))
+
+    def switch(self, value: Value, default_target: BasicBlock,
+               cases: Sequence = ()) -> Switch:
+        return self._emit(Switch(value, default_target, cases))
+
+    def unreachable(self) -> Unreachable:
+        return self._emit(Unreachable())
+
+
+def create_function(module: Module, name: str, return_type: Type,
+                    param_types: Sequence[Type],
+                    param_names: Optional[Sequence[str]] = None,
+                    variadic: bool = False,
+                    linkage: str = Linkage.INTERNAL) -> Function:
+    """Create a function with an entry block and register it in ``module``."""
+    ftype = FunctionType(return_type, param_types, variadic=variadic)
+    function = Function(name, ftype, param_names=param_names, linkage=linkage)
+    function.add_block("entry")
+    module.add_function(function)
+    return function

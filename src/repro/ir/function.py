@@ -1,0 +1,126 @@
+"""Functions: named, typed collections of basic blocks."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from .basicblock import BasicBlock
+from .instructions import Instruction
+from .types import FunctionType, PointerType, Type
+from .values import Argument, Value
+
+
+class Linkage:
+    """Symbol visibility of a function within a program."""
+
+    INTERNAL = "internal"     # only referenced within its module
+    EXPORTED = "exported"     # may be called or address-taken by other modules
+    EXTERNAL = "external"     # declared here, defined elsewhere (e.g. libc)
+
+
+class Function(Value):
+    """A function definition or declaration.
+
+    Attributes relevant to the reproduction:
+
+    * ``linkage`` — drives the fusion trampoline mechanism (exported functions
+      keep a forwarding stub);
+    * ``attributes`` — free-form metadata; the workloads use ``"cve"`` to mark
+      vulnerable functions (Table 3) and ``"uses_setjmp"`` to mark functions
+      the fission must treat carefully;
+    * ``eh_pairs`` — pairs of (throwing block name, handler block name) used to
+      model the C++ EH constraint of section 3.2.4.
+    """
+
+    def __init__(self, name: str, ftype: FunctionType,
+                 param_names: Optional[Sequence[str]] = None,
+                 linkage: str = Linkage.INTERNAL):
+        super().__init__(PointerType(ftype), name=name)
+        self.ftype = ftype
+        self.linkage = linkage
+        self.blocks: List[BasicBlock] = []
+        self.attributes: Dict[str, object] = {}
+        self.eh_pairs: List[tuple] = []
+        self.module = None
+        names = list(param_names or [])
+        while len(names) < len(ftype.param_types):
+            names.append(f"arg{len(names)}")
+        self.args: List[Argument] = [
+            Argument(t, names[i], i, function=self)
+            for i, t in enumerate(ftype.param_types)
+        ]
+        self._name_counter = 0
+
+    # -- basic properties ---------------------------------------------------------
+
+    @property
+    def return_type(self) -> Type:
+        return self.ftype.return_type
+
+    @property
+    def is_variadic(self) -> bool:
+        return self.ftype.variadic
+
+    @property
+    def is_declaration(self) -> bool:
+        return not self.blocks
+
+    @property
+    def entry_block(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def short(self) -> str:
+        return f"@{self.name}"
+
+    # -- block management ---------------------------------------------------------
+
+    def add_block(self, name: str = "", before: Optional[BasicBlock] = None) -> BasicBlock:
+        block = BasicBlock(self.unique_name(name or "bb"), parent=self)
+        if before is None:
+            self.blocks.append(block)
+        else:
+            self.blocks.insert(self.blocks.index(before), block)
+        return block
+
+    def remove_block(self, block: BasicBlock) -> None:
+        self.blocks.remove(block)
+        block.parent = None
+
+    def get_block(self, name: str) -> Optional[BasicBlock]:
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        return None
+
+    def unique_name(self, prefix: str) -> str:
+        existing = {b.name for b in self.blocks}
+        if prefix not in existing:
+            candidate = prefix
+        else:
+            candidate = None
+        while candidate is None or candidate in existing:
+            self._name_counter += 1
+            candidate = f"{prefix}.{self._name_counter}"
+        return candidate
+
+    # -- traversal ----------------------------------------------------------------
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    def predecessors(self) -> Dict[BasicBlock, List[BasicBlock]]:
+        preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in self.blocks}
+        for block in self.blocks:
+            for succ in block.successors():
+                preds.setdefault(succ, []).append(block)
+        return preds
+
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "declaration" if self.is_declaration else f"{len(self.blocks)} blocks"
+        return f"<Function @{self.name} {self.ftype} ({kind})>"

@@ -1,0 +1,369 @@
+"""Instruction set of the reproduction IR.
+
+The instruction set mirrors the subset of LLVM IR that the Khaos passes need:
+arithmetic/logic, comparisons, stack allocation with explicit loads/stores
+(no phi nodes — local variables live in memory, which is also the form in
+which the paper describes the fission data-flow rebuild), pointer arithmetic,
+direct and indirect calls, casts, select, and the usual terminators including
+``switch`` (used by control-flow flattening and by the fusion dispatch).
+
+Every instruction stores its operands in ``self.operands`` so that generic
+machinery (cloning, operand replacement, def-use analysis) can treat all
+instructions uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .types import (ArrayType, FunctionType, IntType, PointerType, Type, VOID,
+                    I1, I64)
+from .values import Constant, Value
+
+
+INT_BINARY_OPS = ("add", "sub", "mul", "sdiv", "srem", "and", "or", "xor",
+                  "shl", "ashr")
+FLOAT_BINARY_OPS = ("fadd", "fsub", "fmul", "fdiv")
+BINARY_OPS = INT_BINARY_OPS + FLOAT_BINARY_OPS
+
+ICMP_PREDICATES = ("eq", "ne", "slt", "sle", "sgt", "sge")
+FCMP_PREDICATES = ("oeq", "one", "olt", "ole", "ogt", "oge")
+
+CAST_KINDS = ("trunc", "zext", "sext", "fptosi", "sitofp", "bitcast",
+              "ptrtoint", "inttoptr", "fpext", "fptrunc")
+
+
+class Instruction(Value):
+    """Base class of all instructions."""
+
+    opcode = "instruction"
+    is_terminator = False
+
+    def __init__(self, type_: Type, operands: Sequence[Value], name: str = ""):
+        super().__init__(type_, name=name)
+        self.operands: List[Value] = list(operands)
+        self.parent = None  # owning BasicBlock
+
+    # -- generic operand plumbing ------------------------------------------------
+
+    def replace_operand(self, old: Value, new: Value) -> int:
+        """Replace every occurrence of ``old`` among the operands; return count."""
+        count = 0
+        for i, op in enumerate(self.operands):
+            if op is old:
+                self.operands[i] = new
+                count += 1
+        return count
+
+    def replace_operands(self, mapping: Dict[Value, Value]) -> None:
+        """Identity-based bulk operand replacement."""
+        for i, op in enumerate(self.operands):
+            for old, new in mapping.items():
+                if op is old:
+                    self.operands[i] = new
+                    break
+
+    def successors(self) -> List["BasicBlockRef"]:
+        """Control-flow successors (only meaningful for terminators)."""
+        return []
+
+    # -- misc ---------------------------------------------------------------------
+
+    @property
+    def has_result(self) -> bool:
+        return not self.type.is_void
+
+    def clone_shallow(self) -> "Instruction":
+        """Clone the instruction keeping the *same* operand references."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.opcode} {self.short()}>"
+
+
+class BinaryOp(Instruction):
+    opcode = "binop"
+
+    def __init__(self, op: str, lhs: Value, rhs: Value, name: str = ""):
+        if op not in BINARY_OPS:
+            raise ValueError(f"unknown binary op {op!r}")
+        super().__init__(lhs.type, [lhs, rhs], name=name)
+        self.op = op
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    def clone_shallow(self) -> "BinaryOp":
+        return BinaryOp(self.op, self.lhs, self.rhs, name=self.name)
+
+
+class Compare(Instruction):
+    opcode = "cmp"
+
+    def __init__(self, predicate: str, lhs: Value, rhs: Value, name: str = ""):
+        if predicate not in ICMP_PREDICATES + FCMP_PREDICATES:
+            raise ValueError(f"unknown comparison predicate {predicate!r}")
+        super().__init__(I1, [lhs, rhs], name=name)
+        self.predicate = predicate
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    def clone_shallow(self) -> "Compare":
+        return Compare(self.predicate, self.lhs, self.rhs, name=self.name)
+
+
+class Alloca(Instruction):
+    """Allocate ``count`` elements of ``allocated_type`` in the current frame."""
+
+    opcode = "alloca"
+
+    def __init__(self, allocated_type: Type, count: int = 1, name: str = ""):
+        super().__init__(PointerType(allocated_type), [], name=name)
+        self.allocated_type = allocated_type
+        self.count = count
+
+    def clone_shallow(self) -> "Alloca":
+        return Alloca(self.allocated_type, self.count, name=self.name)
+
+
+class Load(Instruction):
+    opcode = "load"
+
+    def __init__(self, pointer: Value, name: str = ""):
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError(f"load needs a pointer operand, got {pointer.type}")
+        super().__init__(pointer.type.pointee, [pointer], name=name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    def clone_shallow(self) -> "Load":
+        return Load(self.pointer, name=self.name)
+
+
+class Store(Instruction):
+    opcode = "store"
+
+    def __init__(self, value: Value, pointer: Value):
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError(f"store needs a pointer operand, got {pointer.type}")
+        super().__init__(VOID, [value, pointer])
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[1]
+
+    def clone_shallow(self) -> "Store":
+        return Store(self.value, self.pointer)
+
+
+class GetElementPtr(Instruction):
+    """Pointer arithmetic: ``&pointer[index]`` for array/element access."""
+
+    opcode = "gep"
+
+    def __init__(self, pointer: Value, index: Value, name: str = ""):
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError("gep needs a pointer operand")
+        pointee = pointer.type.pointee
+        element = pointee.element if isinstance(pointee, ArrayType) else pointee
+        super().__init__(PointerType(element), [pointer, index], name=name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+    def clone_shallow(self) -> "GetElementPtr":
+        return GetElementPtr(self.pointer, self.index, name=self.name)
+
+
+class Cast(Instruction):
+    opcode = "cast"
+
+    def __init__(self, kind: str, value: Value, to_type: Type, name: str = ""):
+        if kind not in CAST_KINDS:
+            raise ValueError(f"unknown cast kind {kind!r}")
+        super().__init__(to_type, [value], name=name)
+        self.kind = kind
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    def clone_shallow(self) -> "Cast":
+        return Cast(self.kind, self.value, self.type, name=self.name)
+
+
+class Select(Instruction):
+    opcode = "select"
+
+    def __init__(self, condition: Value, true_value: Value, false_value: Value,
+                 name: str = ""):
+        super().__init__(true_value.type, [condition, true_value, false_value],
+                         name=name)
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def true_value(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def false_value(self) -> Value:
+        return self.operands[2]
+
+    def clone_shallow(self) -> "Select":
+        return Select(self.condition, self.true_value, self.false_value,
+                      name=self.name)
+
+
+class Call(Instruction):
+    """Direct (callee is a Function) or indirect (callee is a pointer value) call."""
+
+    opcode = "call"
+
+    def __init__(self, callee: Value, args: Sequence[Value], name: str = "",
+                 may_throw: bool = False):
+        ftype = _callee_function_type(callee)
+        super().__init__(ftype.return_type, [callee] + list(args), name=name)
+        self.may_throw = may_throw
+
+    @property
+    def callee(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def args(self) -> List[Value]:
+        return self.operands[1:]
+
+    @property
+    def is_direct(self) -> bool:
+        # imported lazily to avoid a circular import at module load time
+        from .function import Function
+        return isinstance(self.callee, Function)
+
+    def clone_shallow(self) -> "Call":
+        return Call(self.callee, self.args, name=self.name,
+                    may_throw=self.may_throw)
+
+
+def _callee_function_type(callee: Value) -> FunctionType:
+    type_ = callee.type
+    if isinstance(type_, FunctionType):
+        return type_
+    if isinstance(type_, PointerType) and isinstance(type_.pointee, FunctionType):
+        return type_.pointee
+    raise TypeError(f"call target has non-function type {type_}")
+
+
+# -- Terminators ------------------------------------------------------------------
+
+
+class Terminator(Instruction):
+    is_terminator = True
+
+
+class Ret(Terminator):
+    opcode = "ret"
+
+    def __init__(self, value: Optional[Value] = None):
+        super().__init__(VOID, [value] if value is not None else [])
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+    def clone_shallow(self) -> "Ret":
+        return Ret(self.value)
+
+
+class Branch(Terminator):
+    opcode = "br"
+
+    def __init__(self, target):
+        super().__init__(VOID, [])
+        self.target = target
+
+    def successors(self):
+        return [self.target]
+
+    def clone_shallow(self) -> "Branch":
+        return Branch(self.target)
+
+
+class CondBranch(Terminator):
+    opcode = "condbr"
+
+    def __init__(self, condition: Value, true_target, false_target):
+        super().__init__(VOID, [condition])
+        self.true_target = true_target
+        self.false_target = false_target
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    def successors(self):
+        return [self.true_target, self.false_target]
+
+    def clone_shallow(self) -> "CondBranch":
+        return CondBranch(self.condition, self.true_target, self.false_target)
+
+
+class Switch(Terminator):
+    opcode = "switch"
+
+    def __init__(self, value: Value, default_target,
+                 cases: Sequence[Tuple[Constant, object]] = ()):
+        super().__init__(VOID, [value])
+        self.default_target = default_target
+        self.cases: List[Tuple[Constant, object]] = list(cases)
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    def add_case(self, constant: Constant, target) -> None:
+        self.cases.append((constant, target))
+
+    def successors(self):
+        return [self.default_target] + [target for _, target in self.cases]
+
+    def clone_shallow(self) -> "Switch":
+        return Switch(self.value, self.default_target, list(self.cases))
+
+
+class Unreachable(Terminator):
+    opcode = "unreachable"
+
+    def __init__(self):
+        super().__init__(VOID, [])
+
+    def clone_shallow(self) -> "Unreachable":
+        return Unreachable()
+
+
+# typing helper for successors() return values (block objects)
+BasicBlockRef = object

@@ -1,0 +1,293 @@
+"""Modules and programs.
+
+A :class:`Module` corresponds to one translation unit / shared object; a
+:class:`Program` is a set of modules plus the name of its entry function.
+``Program.link()`` merges all modules into one (the paper compiles its test
+suites "under O2 with link-time optimization", i.e. whole-program), while
+keeping the notion of the original module boundary available for the fusion
+trampoline mechanism.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from .basicblock import BasicBlock
+from .function import Function, Linkage
+from .instructions import (Branch, Call, CondBranch, Instruction, Switch)
+from .types import FunctionType, Type
+from .values import Argument, Constant, GlobalVariable, UndefValue, Value
+
+
+class Module:
+    """A single translation unit: functions plus global variables."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.globals: Dict[str, GlobalVariable] = {}
+        self.metadata: Dict[str, object] = {}
+
+    # -- functions ----------------------------------------------------------------
+
+    def add_function(self, function: Function) -> Function:
+        if function.name in self.functions:
+            raise ValueError(f"duplicate function {function.name!r} in {self.name}")
+        function.module = self
+        self.functions[function.name] = function
+        return function
+
+    def get_function(self, name: str) -> Optional[Function]:
+        return self.functions.get(name)
+
+    def remove_function(self, name: str) -> None:
+        function = self.functions.pop(name)
+        function.module = None
+
+    def declare_function(self, name: str, ftype: FunctionType) -> Function:
+        """Get-or-create an external declaration (e.g. a libc routine)."""
+        existing = self.functions.get(name)
+        if existing is not None:
+            return existing
+        function = Function(name, ftype, linkage=Linkage.EXTERNAL)
+        return self.add_function(function)
+
+    def defined_functions(self) -> List[Function]:
+        return [f for f in self.functions.values() if not f.is_declaration]
+
+    # -- globals ------------------------------------------------------------------
+
+    def add_global(self, variable: GlobalVariable) -> GlobalVariable:
+        if variable.name in self.globals:
+            raise ValueError(f"duplicate global {variable.name!r} in {self.name}")
+        variable.module = self
+        self.globals[variable.name] = variable
+        return variable
+
+    def get_global(self, name: str) -> Optional[GlobalVariable]:
+        return self.globals.get(name)
+
+    # -- traversal / cloning ------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions.values())
+
+    def clone(self) -> "Module":
+        """Deep copy of the module with all cross-references remapped."""
+        new_module = Module(self.name)
+        new_module.metadata = dict(self.metadata)
+        value_map: Dict[int, Value] = {}
+
+        for g in self.globals.values():
+            new_g = GlobalVariable(g.name, g.value_type,
+                                   initializer=copy.deepcopy(g.initializer),
+                                   constant=g.constant)
+            new_module.add_global(new_g)
+            value_map[id(g)] = new_g
+
+        # first create every function shell so call operands can be remapped
+        for f in self.functions.values():
+            new_f = Function(f.name, f.ftype,
+                             param_names=[a.name for a in f.args],
+                             linkage=f.linkage)
+            new_f.attributes = dict(f.attributes)
+            new_f.eh_pairs = list(f.eh_pairs)
+            new_module.add_function(new_f)
+            value_map[id(f)] = new_f
+            for old_arg, new_arg in zip(f.args, new_f.args):
+                value_map[id(old_arg)] = new_arg
+
+        for f in self.functions.values():
+            clone_function_body(f, value_map[id(f)], value_map)
+
+        return new_module
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Module {self.name} ({len(self.functions)} functions)>"
+
+
+def clone_function_body(source: Function, target: Function,
+                        value_map: Dict[int, Value]) -> None:
+    """Copy ``source``'s blocks into the (empty) ``target`` function.
+
+    ``value_map`` maps ``id(old value) -> new value`` and is extended with the
+    cloned instructions and blocks; it must already contain mappings for the
+    arguments of ``source`` and for any global/function referenced.
+    """
+    block_map: Dict[int, BasicBlock] = {}
+    for block in source.blocks:
+        new_block = BasicBlock(block.name, parent=target)
+        target.blocks.append(new_block)
+        block_map[id(block)] = new_block
+        value_map[id(block)] = new_block
+
+    # first pass: create every instruction clone so that forward references
+    # (an operand defined in a block that appears later in the list) resolve
+    new_instructions = []
+    for block in source.blocks:
+        new_block = block_map[id(block)]
+        for inst in block.instructions:
+            new_inst = inst.clone_shallow()
+            new_inst.name = inst.name
+            new_block.append(new_inst)
+            value_map[id(inst)] = new_inst
+            new_instructions.append(new_inst)
+
+    # second pass: remap operands and branch targets
+    for new_inst in new_instructions:
+        for i, op in enumerate(new_inst.operands):
+            mapped = value_map.get(id(op))
+            if mapped is not None:
+                new_inst.operands[i] = mapped
+        if isinstance(new_inst, Branch):
+            new_inst.target = block_map[id(new_inst.target)]
+        elif isinstance(new_inst, CondBranch):
+            new_inst.true_target = block_map[id(new_inst.true_target)]
+            new_inst.false_target = block_map[id(new_inst.false_target)]
+        elif isinstance(new_inst, Switch):
+            new_inst.default_target = block_map[id(new_inst.default_target)]
+            new_inst.cases = [(c, block_map[id(t)]) for c, t in new_inst.cases]
+
+
+class Program:
+    """A set of modules plus an entry point, the unit the evaluation runs on."""
+
+    def __init__(self, name: str, modules: Optional[Iterable[Module]] = None,
+                 entry: str = "main"):
+        self.name = name
+        self.modules: List[Module] = list(modules or [])
+        self.entry = entry
+        self.metadata: Dict[str, object] = {}
+
+    def add_module(self, module: Module) -> Module:
+        self.modules.append(module)
+        return module
+
+    def all_functions(self) -> List[Function]:
+        return [f for m in self.modules for f in m.functions.values()]
+
+    def defined_functions(self) -> List[Function]:
+        return [f for m in self.modules for f in m.defined_functions()]
+
+    def find_function(self, name: str) -> Optional[Function]:
+        for module in self.modules:
+            f = module.get_function(name)
+            if f is not None and not f.is_declaration:
+                return f
+        for module in self.modules:
+            f = module.get_function(name)
+            if f is not None:
+                return f
+        return None
+
+    def clone(self) -> "Program":
+        cloned = Program(self.name, [m.clone() for m in self.modules],
+                         entry=self.entry)
+        cloned.metadata = dict(self.metadata)
+        if len(cloned.modules) > 1:
+            # cross-module references still point at the source program's
+            # objects after per-module cloning; re-resolve them by name so the
+            # clone never aliases the original
+            functions_by_name = {}
+            globals_by_name = {}
+            for module in cloned.modules:
+                for f in module.functions.values():
+                    if not f.is_declaration or f.name not in functions_by_name:
+                        functions_by_name[f.name] = f
+                for g in module.globals.values():
+                    globals_by_name.setdefault(g.name, g)
+            for module in cloned.modules:
+                for f in module.functions.values():
+                    for inst in f.instructions():
+                        for i, op in enumerate(inst.operands):
+                            if isinstance(op, Function):
+                                resolved = functions_by_name.get(op.name)
+                                if resolved is not None and resolved is not op:
+                                    inst.operands[i] = resolved
+                            elif isinstance(op, GlobalVariable):
+                                resolved_g = globals_by_name.get(op.name)
+                                if resolved_g is not None and resolved_g is not op:
+                                    inst.operands[i] = resolved_g
+        return cloned
+
+    def link(self) -> "Program":
+        """Merge every module into a single linked module (LTO-style).
+
+        Internal symbols that clash across modules are renamed with a module
+        suffix.  The original module of each function is recorded in its
+        ``attributes["origin_module"]`` so that the fusion pass can still apply
+        its cross-module trampoline rule.
+        """
+        if len(self.modules) <= 1:
+            linked_single = self.clone()
+            for module in linked_single.modules:
+                for f in module.functions.values():
+                    f.attributes.setdefault("origin_module", module.name)
+            return linked_single
+
+        source = self.clone()
+        merged = Module(f"{self.name}.linked")
+        taken: Dict[str, str] = {}
+
+        # resolve name clashes up front
+        rename: Dict[int, str] = {}
+        for module in source.modules:
+            for f in module.functions.values():
+                name = f.name
+                if name in taken:
+                    if f.is_declaration or f.linkage == Linkage.EXTERNAL:
+                        continue
+                    if f.linkage == Linkage.INTERNAL:
+                        name = f"{f.name}.{module.name}"
+                    else:
+                        name = f"{f.name}.{module.name}"
+                rename[id(f)] = name
+                taken[name] = module.name
+            for g in module.globals.values():
+                if g.name in merged.globals:
+                    continue
+
+        for module in source.modules:
+            for g in module.globals.values():
+                if g.name not in merged.globals:
+                    g.module = None
+                    merged.add_global(g)
+        for module in source.modules:
+            for f in module.functions.values():
+                new_name = rename.get(id(f), f.name)
+                if new_name in merged.functions:
+                    existing = merged.functions[new_name]
+                    if existing.is_declaration and not f.is_declaration:
+                        # replace declaration with definition
+                        merged.remove_function(new_name)
+                    else:
+                        continue
+                f.name = new_name
+                f.attributes.setdefault("origin_module", module.name)
+                f.module = None
+                merged.add_function(f)
+
+        # rewrite operand references so duplicate declarations / globals collapse
+        # onto the surviving definition
+        by_name = merged.functions
+        globals_by_name = merged.globals
+        for f in merged.functions.values():
+            for inst in list(f.instructions()):
+                for i, op in enumerate(inst.operands):
+                    if isinstance(op, Function):
+                        resolved = by_name.get(op.name)
+                        if resolved is not None and resolved is not op:
+                            inst.operands[i] = resolved
+                    elif isinstance(op, GlobalVariable):
+                        resolved_g = globals_by_name.get(op.name)
+                        if resolved_g is not None and resolved_g is not op:
+                            inst.operands[i] = resolved_g
+
+        linked = Program(self.name, [merged], entry=self.entry)
+        linked.metadata = dict(self.metadata)
+        linked.metadata["linked"] = True
+        return linked
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Program {self.name} ({len(self.modules)} modules)>"

@@ -1,0 +1,95 @@
+"""Textual form of the IR, used by tests, debugging and documentation."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import (Alloca, BinaryOp, Branch, Call, Cast, Compare,
+                           CondBranch, GetElementPtr, Instruction, Load, Ret,
+                           Select, Store, Switch, Unreachable)
+from .module import Module
+from .values import Argument, Constant, GlobalVariable, UndefValue, Value
+
+
+def _operand(value: Value) -> str:
+    if isinstance(value, Constant):
+        return value.short()
+    if isinstance(value, (GlobalVariable, Function)):
+        return value.short()
+    if isinstance(value, UndefValue):
+        return value.short()
+    if isinstance(value, (Argument, Instruction)):
+        return f"%{value.name}"
+    return value.short()
+
+
+def instruction_to_str(inst: Instruction) -> str:
+    if isinstance(inst, BinaryOp):
+        return (f"%{inst.name} = {inst.op} {inst.type} "
+                f"{_operand(inst.lhs)}, {_operand(inst.rhs)}")
+    if isinstance(inst, Compare):
+        return (f"%{inst.name} = cmp {inst.predicate} "
+                f"{_operand(inst.lhs)}, {_operand(inst.rhs)}")
+    if isinstance(inst, Alloca):
+        suffix = f", count {inst.count}" if inst.count != 1 else ""
+        return f"%{inst.name} = alloca {inst.allocated_type}{suffix}"
+    if isinstance(inst, Load):
+        return f"%{inst.name} = load {inst.type}, {_operand(inst.pointer)}"
+    if isinstance(inst, Store):
+        return f"store {_operand(inst.value)}, {_operand(inst.pointer)}"
+    if isinstance(inst, GetElementPtr):
+        return (f"%{inst.name} = gep {_operand(inst.pointer)}, "
+                f"{_operand(inst.index)}")
+    if isinstance(inst, Cast):
+        return (f"%{inst.name} = {inst.kind} {_operand(inst.value)} "
+                f"to {inst.type}")
+    if isinstance(inst, Select):
+        return (f"%{inst.name} = select {_operand(inst.condition)}, "
+                f"{_operand(inst.true_value)}, {_operand(inst.false_value)}")
+    if isinstance(inst, Call):
+        args = ", ".join(_operand(a) for a in inst.args)
+        prefix = f"%{inst.name} = " if inst.has_result else ""
+        return f"{prefix}call {_operand(inst.callee)}({args})"
+    if isinstance(inst, Ret):
+        return f"ret {_operand(inst.value)}" if inst.value is not None else "ret void"
+    if isinstance(inst, Branch):
+        return f"br label %{inst.target.name}"
+    if isinstance(inst, CondBranch):
+        return (f"br {_operand(inst.condition)}, label %{inst.true_target.name}, "
+                f"label %{inst.false_target.name}")
+    if isinstance(inst, Switch):
+        cases = ", ".join(f"{c.value} -> %{t.name}" for c, t in inst.cases)
+        return (f"switch {_operand(inst.value)}, default %{inst.default_target.name} "
+                f"[{cases}]")
+    if isinstance(inst, Unreachable):
+        return "unreachable"
+    return f"<{inst.opcode}>"
+
+
+def block_to_str(block: BasicBlock) -> str:
+    lines = [f"{block.name}:"]
+    lines.extend(f"  {instruction_to_str(i)}" for i in block.instructions)
+    return "\n".join(lines)
+
+
+def function_to_str(function: Function) -> str:
+    params = ", ".join(f"{a.type} %{a.name}" for a in function.args)
+    if function.is_variadic:
+        params = f"{params}, ..." if params else "..."
+    header = f"define {function.return_type} @{function.name}({params})"
+    if function.is_declaration:
+        return f"declare {function.return_type} @{function.name}({params})"
+    body = "\n".join(block_to_str(b) for b in function.blocks)
+    return f"{header} [{function.linkage}] {{\n{body}\n}}"
+
+
+def module_to_str(module: Module) -> str:
+    parts = [f"; module {module.name}"]
+    for g in module.globals.values():
+        init = g.initializer if g.initializer is not None else "zeroinitializer"
+        parts.append(f"@{g.name} = global {g.value_type} {init}")
+    for f in module.functions.values():
+        parts.append(function_to_str(f))
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,216 @@
+"""Type system for the reproduction IR.
+
+The IR is deliberately small: integers of various widths, floats, pointers,
+fixed arrays, function types and void.  Two pieces of behaviour matter for the
+paper reproduction:
+
+* *compatibility* between types (``compatible_type``), used by the fusion
+  primitive to decide whether two return values or two parameters may be
+  compressed into one slot — "compatible means converting between different
+  data types without losing precision" (Khaos, section 3.3.1);
+* a stable textual form used by the printer and by binary symbol signatures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+
+class Type:
+    """Base class of all IR types."""
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Type) and str(self) == str(other)
+
+    def __hash__(self) -> int:
+        return hash(str(self))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.__class__.__name__} {self}>"
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_function(self) -> bool:
+        return isinstance(self, FunctionType)
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    def size_in_slots(self) -> int:
+        """Abstract size used by the stack layout (one slot = 8 bytes)."""
+        return 1
+
+
+class VoidType(Type):
+    def __str__(self) -> str:
+        return "void"
+
+    def size_in_slots(self) -> int:
+        return 0
+
+
+class IntType(Type):
+    """A two's-complement integer of ``bits`` width (1, 8, 16, 32, 64)."""
+
+    def __init__(self, bits: int = 64):
+        if bits not in (1, 8, 16, 32, 64):
+            raise ValueError(f"unsupported integer width: {bits}")
+        self.bits = bits
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.bits - 1)) if self.bits > 1 else 0
+
+    @property
+    def max_value(self) -> int:
+        return (1 << (self.bits - 1)) - 1 if self.bits > 1 else 1
+
+    def wrap(self, value: int) -> int:
+        """Wrap a Python integer into this type's range (two's complement)."""
+        mask = (1 << self.bits) - 1
+        value &= mask
+        if self.bits > 1 and value >= (1 << (self.bits - 1)):
+            value -= 1 << self.bits
+        return value
+
+
+class FloatType(Type):
+    """An IEEE-ish float; only 32 and 64 bit widths are modelled."""
+
+    def __init__(self, bits: int = 64):
+        if bits not in (32, 64):
+            raise ValueError(f"unsupported float width: {bits}")
+        self.bits = bits
+
+    def __str__(self) -> str:
+        return f"f{self.bits}"
+
+
+class PointerType(Type):
+    def __init__(self, pointee: Type):
+        self.pointee = pointee
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+class ArrayType(Type):
+    def __init__(self, element: Type, count: int):
+        if count < 0:
+            raise ValueError("array count must be non-negative")
+        self.element = element
+        self.count = count
+
+    def __str__(self) -> str:
+        return f"[{self.count} x {self.element}]"
+
+    def size_in_slots(self) -> int:
+        return max(1, self.count * self.element.size_in_slots())
+
+
+class FunctionType(Type):
+    def __init__(self, return_type: Type, param_types: Sequence[Type],
+                 variadic: bool = False):
+        self.return_type = return_type
+        self.param_types = tuple(param_types)
+        self.variadic = variadic
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.param_types)
+        if self.variadic:
+            params = f"{params}, ..." if params else "..."
+        return f"{self.return_type} ({params})"
+
+
+# Convenient singletons -------------------------------------------------------
+
+VOID = VoidType()
+I1 = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+F32 = FloatType(32)
+F64 = FloatType(64)
+
+
+def pointer_to(pointee: Type) -> PointerType:
+    return PointerType(pointee)
+
+
+def compatible_type(a: Type, b: Type) -> Optional[Type]:
+    """Return the merged type of ``a`` and ``b`` if they are compatible.
+
+    Compatibility follows the paper's rule: a conversion must not lose
+    precision.  Two integers are compatible (merged into the wider one), two
+    floats are compatible, two pointers are compatible (merged into ``i8*``
+    unless identical), an integer and a pointer are compatible (pointers fit
+    in a 64-bit integer slot), but an integer/pointer and a float are not.
+    ``void`` merges with anything (the non-void side wins).
+    """
+    if a == b:
+        return a
+    if a.is_void:
+        return b
+    if b.is_void:
+        return a
+    if a.is_integer and b.is_integer:
+        return a if a.bits >= b.bits else b
+    if a.is_float and b.is_float:
+        return a if a.bits >= b.bits else b
+    if a.is_pointer and b.is_pointer:
+        return PointerType(I8)
+    return None
+
+
+def compress_parameter_lists(
+        a_params: Sequence[Type],
+        b_params: Sequence[Type]) -> Tuple[Tuple[Type, ...], Tuple[int, ...], Tuple[int, ...]]:
+    """Merge two parameter lists using the paper's compression rule.
+
+    Parameters from the two lists are paired greedily: each parameter of
+    ``b`` reuses the first not-yet-claimed slot of ``a`` with a compatible
+    type, otherwise it gets a fresh slot.  Returns the merged parameter types
+    plus, for each original list, the indices of its parameters in the merged
+    list.
+    """
+    merged = [p for p in a_params]
+    a_index = tuple(range(len(a_params)))
+    claimed = [False] * len(merged)
+    b_index = []
+    for p in b_params:
+        placed = None
+        for i, existing in enumerate(merged):
+            if claimed[i] or i >= len(a_params):
+                continue
+            joint = compatible_type(existing, p)
+            if joint is not None:
+                merged[i] = joint
+                claimed[i] = True
+                placed = i
+                break
+        if placed is None:
+            merged.append(p)
+            claimed.append(True)
+            placed = len(merged) - 1
+        b_index.append(placed)
+    return tuple(merged), a_index, tuple(b_index)

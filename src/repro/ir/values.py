@@ -1,0 +1,113 @@
+"""Core value classes of the IR.
+
+Everything that can appear as an instruction operand derives from
+:class:`Value`: constants, global variables, function arguments, functions
+themselves (used as call targets and as function-pointer constants) and
+instructions (defined in :mod:`repro.ir.instructions`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .types import FloatType, IntType, PointerType, Type
+
+
+class Value:
+    """Base class for every IR value."""
+
+    def __init__(self, type_: Type, name: str = ""):
+        self.type = type_
+        self.name = name
+
+    def short(self) -> str:
+        """Short operand spelling used by the printer."""
+        return f"%{self.name}" if self.name else "%<anon>"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.__class__.__name__} {self.short()}: {self.type}>"
+
+
+class Constant(Value):
+    """A literal integer or float constant."""
+
+    def __init__(self, type_: Type, value):
+        super().__init__(type_, name="")
+        if isinstance(type_, IntType):
+            value = type_.wrap(int(value))
+        elif isinstance(type_, FloatType):
+            value = float(value)
+        self.value = value
+
+    def short(self) -> str:
+        return f"{self.type} {self.value}"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Constant) and other.type == self.type
+                and other.value == self.value)
+
+    def __hash__(self) -> int:
+        return hash((str(self.type), self.value))
+
+
+class UndefValue(Value):
+    """An undefined value of a given type (used for padded fusion arguments)."""
+
+    def short(self) -> str:
+        return f"{self.type} undef"
+
+
+class NullPointer(Constant):
+    """The null pointer constant."""
+
+    def __init__(self, type_: PointerType):
+        Value.__init__(self, type_, name="")
+        self.value = 0
+
+    def short(self) -> str:
+        return f"{self.type} null"
+
+
+class GlobalVariable(Value):
+    """A module-level variable.
+
+    ``value_type`` is the type of the stored data; the value itself has
+    pointer-to-``value_type`` type, mirroring LLVM.  ``initializer`` is either
+    ``None`` (zero initialised), a Python scalar, or a list of scalars for
+    arrays.
+    """
+
+    def __init__(self, name: str, value_type: Type, initializer=None,
+                 constant: bool = False):
+        super().__init__(PointerType(value_type), name=name)
+        self.value_type = value_type
+        self.initializer = initializer
+        self.constant = constant
+        self.module = None
+
+    def short(self) -> str:
+        return f"@{self.name}"
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    def __init__(self, type_: Type, name: str, index: int, function=None):
+        super().__init__(type_, name=name)
+        self.index = index
+        self.function = function
+
+    def short(self) -> str:
+        return f"%{self.name}"
+
+
+def int_const(value: int, bits: int = 64) -> Constant:
+    return Constant(IntType(bits), value)
+
+
+def float_const(value: float, bits: int = 64) -> Constant:
+    return Constant(FloatType(bits), value)
+
+
+def bool_const(value: bool) -> Constant:
+    return Constant(IntType(1), 1 if value else 0)

@@ -1,0 +1,15 @@
+"""Classic compiler optimizations and pipelines (O0–O3, LTO)."""
+
+from .pass_manager import FunctionPass, ModulePass, OptOptions, Pass, PassManager
+from .constant_fold import ConstantFolding
+from .dce import DeadCodeElimination, DeadFunctionElimination
+from .simplify_cfg import SimplifyCFG
+from .inline import Inliner, can_inline, function_size, inline_call
+from .pipelines import build_pipeline, optimize_program
+
+__all__ = [
+    "FunctionPass", "ModulePass", "OptOptions", "Pass", "PassManager",
+    "ConstantFolding", "DeadCodeElimination", "DeadFunctionElimination",
+    "SimplifyCFG", "Inliner", "can_inline", "function_size", "inline_call",
+    "build_pipeline", "optimize_program",
+]

@@ -1,0 +1,99 @@
+"""Dead code elimination.
+
+Removes instructions whose results are unused and which have no side effects,
+stores to allocas that are never loaded, and (as a module-level pass) internal
+functions that are never referenced.  Dead-function elimination is what erases
+the original functions after the fusion pass has redirected every call site to
+the fused function.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..analysis.callgraph import CallGraph
+from ..analysis.defuse import DefUse
+from ..ir.function import Function, Linkage
+from ..ir.instructions import Alloca, Call, Instruction, Load, Store
+from ..ir.module import Module
+from .pass_manager import FunctionPass, ModulePass
+
+
+def _has_side_effects(inst: Instruction) -> bool:
+    if inst.is_terminator:
+        return True
+    if isinstance(inst, (Store, Call)):
+        return True
+    return False
+
+
+class DeadCodeElimination(FunctionPass):
+    name = "dce"
+
+    def run_on_function(self, function: Function) -> bool:
+        changed = False
+        while True:
+            defuse = DefUse(function)
+            removed_this_round = 0
+            for block in function.blocks:
+                for inst in list(block.instructions):
+                    if _has_side_effects(inst):
+                        continue
+                    if not defuse.is_used(inst):
+                        block.remove(inst)
+                        removed_this_round += 1
+            # remove allocas that are only ever stored to (never loaded or escaped)
+            removed_this_round += self._remove_write_only_allocas(function)
+            if removed_this_round == 0:
+                break
+            changed = True
+        return changed
+
+    @staticmethod
+    def _remove_write_only_allocas(function: Function) -> int:
+        defuse = DefUse(function)
+        removed = 0
+        for block in function.blocks:
+            for inst in list(block.instructions):
+                if not isinstance(inst, Alloca):
+                    continue
+                uses = defuse.uses_of(inst)
+                if uses and all(isinstance(u, Store) and u.pointer is inst
+                                for u in uses):
+                    for use in uses:
+                        use.parent.remove(use)
+                        removed += 1
+                    block.remove(inst)
+                    removed += 1
+        return removed
+
+
+class DeadFunctionElimination(ModulePass):
+    name = "dead-function-elim"
+
+    def __init__(self, entry_names: Set[str] = frozenset({"main"})):
+        self.entry_names = set(entry_names)
+
+    def run_on_module(self, module: Module) -> bool:
+        changed = False
+        while True:
+            graph = CallGraph(module)
+            removable = []
+            for function in module.functions.values():
+                if function.is_declaration:
+                    continue
+                if function.name in self.entry_names:
+                    continue
+                if function.linkage != Linkage.INTERNAL:
+                    continue
+                if graph.in_degree(function.name) > 0:
+                    continue
+                if graph.is_address_taken(function.name):
+                    continue
+                removable.append(function.name)
+            if not removable:
+                break
+            for name in removable:
+                module.remove_function(name)
+            changed = True
+        return changed

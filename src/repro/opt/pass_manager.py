@@ -1,0 +1,99 @@
+"""Pass management and optimization options.
+
+The obfuscation passes and the classic optimizations all plug into the same
+:class:`PassManager`.  :class:`OptOptions` captures the knobs BinTuner-style
+iterative compilation searches over (optimization level, inline threshold,
+individual pass toggles, LTO).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, List, Optional
+
+from ..ir.function import Function
+from ..ir.module import Module, Program
+from ..ir.verifier import assert_valid
+
+
+class Pass:
+    """Base class: a named transformation over a program."""
+
+    name = "pass"
+
+    def run(self, program: Program) -> bool:
+        """Run over the program; return True if anything changed."""
+        raise NotImplementedError
+
+
+class FunctionPass(Pass):
+    """A pass applied independently to every defined function."""
+
+    def run(self, program: Program) -> bool:
+        changed = False
+        for module in program.modules:
+            for function in list(module.functions.values()):
+                if function.is_declaration:
+                    continue
+                changed |= bool(self.run_on_function(function))
+        return changed
+
+    def run_on_function(self, function: Function) -> bool:
+        raise NotImplementedError
+
+
+class ModulePass(Pass):
+    """A pass applied to each module as a whole."""
+
+    def run(self, program: Program) -> bool:
+        changed = False
+        for module in program.modules:
+            changed |= bool(self.run_on_module(module))
+        return changed
+
+    def run_on_module(self, module: Module) -> bool:
+        raise NotImplementedError
+
+
+@dataclass
+class OptOptions:
+    """Compiler configuration, the search space of BinTuner (Figure 9)."""
+
+    level: int = 2                 # 0..3, mirrors -O0/-O1/-O2/-O3
+    lto: bool = True               # the paper builds everything with -O2 + LTO
+    inline_threshold: int = 30     # max callee size (instructions) to inline
+    enable_inlining: bool = True
+    enable_simplify_cfg: bool = True
+    enable_constant_folding: bool = True
+    enable_dce: bool = True
+    enable_dead_function_elim: bool = True
+    iterations: int = 2            # fixed-point rounds of the scalar pipeline
+
+    def label(self) -> str:
+        lto = "+LTO" if self.lto else ""
+        return f"O{self.level}{lto}"
+
+    def with_level(self, level: int) -> "OptOptions":
+        return replace(self, level=level)
+
+
+class PassManager:
+    def __init__(self, passes: Optional[Iterable[Pass]] = None,
+                 verify_each: bool = False):
+        self.passes: List[Pass] = list(passes or [])
+        self.verify_each = verify_each
+        self.history: List[str] = []
+
+    def add(self, pass_: Pass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(self, program: Program) -> bool:
+        changed = False
+        for pass_ in self.passes:
+            pass_changed = pass_.run(program)
+            changed |= bool(pass_changed)
+            self.history.append(f"{pass_.name}:{'changed' if pass_changed else 'no-op'}")
+            if self.verify_each:
+                assert_valid(program)
+        return changed

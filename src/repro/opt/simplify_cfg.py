@@ -1,0 +1,105 @@
+"""Control-flow graph simplification.
+
+Three cleanups, iterated to a fixed point:
+
+* removal of blocks unreachable from the entry;
+* merging of a block into its unique predecessor when that predecessor's only
+  successor is the block (straight-line merge);
+* skipping of empty forwarding blocks (a block containing only an
+  unconditional branch).
+
+After Khaos restructures code these cleanups run again and produce block
+shapes that differ markedly from the original function — which is exactly the
+effect the paper relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.cfg import ControlFlowGraph
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Branch, CondBranch, Switch
+from .pass_manager import FunctionPass
+
+
+def _retarget(function: Function, old: BasicBlock, new: BasicBlock) -> None:
+    for block in function.blocks:
+        term = block.terminator
+        if term is None:
+            continue
+        if isinstance(term, Branch) and term.target is old:
+            term.target = new
+        elif isinstance(term, CondBranch):
+            if term.true_target is old:
+                term.true_target = new
+            if term.false_target is old:
+                term.false_target = new
+        elif isinstance(term, Switch):
+            if term.default_target is old:
+                term.default_target = new
+            term.cases = [(c, new if t is old else t) for c, t in term.cases]
+
+
+class SimplifyCFG(FunctionPass):
+    name = "simplify-cfg"
+
+    def run_on_function(self, function: Function) -> bool:
+        changed = False
+        while True:
+            local = (self._remove_unreachable(function)
+                     or self._merge_straight_line(function)
+                     or self._skip_forwarding_blocks(function))
+            if not local:
+                break
+            changed = True
+        return changed
+
+    @staticmethod
+    def _remove_unreachable(function: Function) -> bool:
+        cfg = ControlFlowGraph(function)
+        dead = cfg.unreachable_blocks()
+        for block in dead:
+            function.remove_block(block)
+        return bool(dead)
+
+    @staticmethod
+    def _merge_straight_line(function: Function) -> bool:
+        cfg = ControlFlowGraph(function)
+        for block in function.blocks:
+            succs = cfg.successors.get(block, [])
+            if len(succs) != 1:
+                continue
+            succ = succs[0]
+            if succ is function.entry_block or succ is block:
+                continue
+            if len(cfg.predecessors.get(succ, [])) != 1:
+                continue
+            # merge succ into block
+            term = block.terminator
+            block.remove(term)
+            for inst in list(succ.instructions):
+                succ.remove(inst)
+                block.append(inst)
+            function.remove_block(succ)
+            return True
+        return False
+
+    @staticmethod
+    def _skip_forwarding_blocks(function: Function) -> bool:
+        for block in function.blocks:
+            if block is function.entry_block:
+                continue
+            if len(block.instructions) != 1:
+                continue
+            term = block.terminator
+            if not isinstance(term, Branch):
+                continue
+            target = term.target
+            if target is block:
+                continue
+            _retarget(function, block, target)
+            function.remove_block(block)
+            return True
+        return False

@@ -1,0 +1,33 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+
+def stable_hash(*parts: object, bits: int = 30) -> int:
+    """A process-independent hash of the given parts.
+
+    Python's built-in ``hash`` is salted per interpreter run, which would make
+    every seed (and therefore every synthesised program and every figure)
+    change between runs.  All seed derivations in the reproduction go through
+    this helper instead.
+    """
+    digest = hashlib.sha256("\x1f".join(repr(p) for p in parts).encode()).digest()
+    return int.from_bytes(digest[:8], "little") % (1 << bits)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of ``1 + value`` minus one, as used for overhead columns.
+
+    The paper reports geometric means over per-program overheads that can be
+    slightly negative, so the mean is computed over the speedup factors.
+    """
+    factors = [1.0 + v for v in values]
+    if not factors:
+        return 0.0
+    product = 1.0
+    for factor in factors:
+        product *= max(factor, 1e-9)
+    return product ** (1.0 / len(factors)) - 1.0

@@ -1,0 +1,11 @@
+"""Deterministic IR interpreter and cycle cost model."""
+
+from .costs import CostModel, DEFAULT_COST_MODEL, REGISTER_ARG_SLOTS
+from .machine import (ExecutionError, ExecutionResult, FuncPointer,
+                      Interpreter, Pointer, StepLimitExceeded, run_program)
+
+__all__ = [
+    "CostModel", "DEFAULT_COST_MODEL", "REGISTER_ARG_SLOTS",
+    "ExecutionError", "ExecutionResult", "FuncPointer", "Interpreter",
+    "Pointer", "StepLimitExceeded", "run_program",
+]

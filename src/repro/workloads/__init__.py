@@ -1,0 +1,19 @@
+"""Synthetic workload suites standing in for SPEC CPU, CoreUtils and the
+embedded (T-III) programs of the paper."""
+
+from .kernels import build_kernel, kernel_names
+from .synth import ProgramProfile, VulnerableFunctionSpec, synthesize_program
+from .suites import (COREUTILS_8_32, EMBEDDED_VULNERABILITIES, SPEC_CPU_2006,
+                     SPEC_CPU_2017, SPECINT_2006, SPECSPEED_2017,
+                     WorkloadProgram, coreutils_programs, embedded_programs,
+                     find_program, load_suite, spec2006_programs,
+                     spec2017_programs, suite_names)
+
+__all__ = [
+    "build_kernel", "kernel_names", "ProgramProfile", "VulnerableFunctionSpec",
+    "synthesize_program", "COREUTILS_8_32", "EMBEDDED_VULNERABILITIES",
+    "SPEC_CPU_2006", "SPEC_CPU_2017", "SPECINT_2006", "SPECSPEED_2017",
+    "WorkloadProgram", "coreutils_programs", "embedded_programs",
+    "find_program", "load_suite", "spec2006_programs", "spec2017_programs",
+    "suite_names",
+]

@@ -1,0 +1,695 @@
+"""A library of hand-written algorithmic kernels.
+
+The paper evaluates Khaos on SPEC CPU 2006/2017, CoreUtils and embedded
+software.  Those sources are not available offline, so the workload suites are
+synthesised from this kernel library: each kernel is a realistic function
+(loops, branches, local arrays, arithmetic mixes, recursion) built directly in
+the reproduction IR.  The synthesiser (:mod:`repro.workloads.synth`) composes
+kernels, glue functions, indirect-call dispatchers and a driving ``main`` into
+named programs with the paper's program names.
+
+Every kernel builder has the signature ``build(module, name, rng) -> Function``
+and produces a deterministic function for a given name/seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List
+
+from ..ir.builder import IRBuilder, create_function
+from ..ir.function import Function, Linkage
+from ..ir.module import Module
+from ..ir.types import FloatType, FunctionType, PointerType, F64, I64
+from ..ir.values import Constant
+
+KernelBuilder = Callable[[Module, str, random.Random], Function]
+
+_REGISTRY: Dict[str, KernelBuilder] = {}
+
+
+def register(name: str) -> Callable[[KernelBuilder], KernelBuilder]:
+    def decorator(builder: KernelBuilder) -> KernelBuilder:
+        _REGISTRY[name] = builder
+        return builder
+    return decorator
+
+
+def kernel_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def build_kernel(kind: str, module: Module, name: str,
+                 rng: random.Random) -> Function:
+    return _REGISTRY[kind](module, name, rng)
+
+
+# -- helpers --------------------------------------------------------------------------
+
+
+def _counted_loop(function: Function, builder: IRBuilder, bound):
+    """Create a canonical counted loop; returns (loop, body, done, index_slot)."""
+    index = builder.alloca(I64, name="i")
+    builder.store(0, index)
+    loop = function.add_block("loop")
+    body = function.add_block("body")
+    done = function.add_block("done")
+    builder.br(loop)
+    builder.position_at_end(loop)
+    current = builder.load(index)
+    builder.cond_br(builder.icmp("slt", current, bound), body, done)
+    builder.position_at_end(body)
+    return loop, body, done, index
+
+
+def _advance(builder: IRBuilder, index, loop) -> None:
+    builder.store(builder.add(builder.load(index), 1), index)
+    builder.br(loop)
+
+
+# -- integer kernels --------------------------------------------------------------------
+
+
+@register("checksum")
+def build_checksum(module: Module, name: str, rng: random.Random) -> Function:
+    """Fill a buffer from a seed and accumulate a mixing checksum over it."""
+    f = create_function(module, name, I64, [I64, I64], ["n", "seed"])
+    b = IRBuilder(f.entry_block)
+    size = 16 + rng.randrange(4) * 8
+    buf = b.alloca(I64, count=size, name="buf")
+    bound = b.srem(f.args[0], size)
+    bound = b.select(b.icmp("slt", bound, 1), 1, bound)
+
+    loop, body, done, index = _counted_loop(f, b, bound)
+    i = b.load(index)
+    cell = b.gep(buf, i)
+    mixed = b.xor(b.mul(b.add(f.args[1], i), 2654435761), b.shl(i, 3))
+    b.store(mixed, cell)
+    _advance(b, index, loop)
+
+    b.position_at_end(done)
+    acc = b.alloca(I64, name="acc")
+    b.store(f.args[1], acc)
+    loop2, body2, done2, index2 = _counted_loop(f, b, bound)
+    i2 = b.load(index2)
+    value = b.load(b.gep(buf, i2))
+    skip = f.add_block("skip")
+    take = f.add_block("take")
+    cont = f.add_block("cont")
+    b.cond_br(b.icmp("eq", b.srem(value, 3), 0), skip, take)
+    b.position_at_end(take)
+    b.store(b.add(b.load(acc), value), acc)
+    b.br(cont)
+    b.position_at_end(skip)
+    b.store(b.xor(b.load(acc), 0x5A5A), acc)
+    b.br(cont)
+    b.position_at_end(cont)
+    _advance(b, index2, loop2)
+    b.position_at_end(done2)
+    b.ret(b.load(acc))
+    return f
+
+
+@register("rle_length")
+def build_rle_length(module: Module, name: str, rng: random.Random) -> Function:
+    """Compute the run-length-encoded size of a synthetic byte stream."""
+    f = create_function(module, name, I64, [I64, I64], ["n", "seed"])
+    b = IRBuilder(f.entry_block)
+    size = 24
+    data = b.alloca(I64, count=size, name="data")
+    loop, body, done, index = _counted_loop(f, b, size)
+    i = b.load(index)
+    value = b.and_(b.sdiv(b.mul(b.add(i, f.args[1]), 11), 7), 3)
+    b.store(value, b.gep(data, i))
+    _advance(b, index, loop)
+
+    b.position_at_end(done)
+    runs = b.alloca(I64, name="runs")
+    prev = b.alloca(I64, name="prev")
+    b.store(0, runs)
+    b.store(-1, prev)
+    loop2, body2, done2, index2 = _counted_loop(f, b, size)
+    i2 = b.load(index2)
+    value2 = b.load(b.gep(data, i2))
+    same = f.add_block("same")
+    diff = f.add_block("diff")
+    cont = f.add_block("cont")
+    b.cond_br(b.icmp("eq", value2, b.load(prev)), same, diff)
+    b.position_at_end(diff)
+    b.store(b.add(b.load(runs), 2), runs)
+    b.store(value2, prev)
+    b.br(cont)
+    b.position_at_end(same)
+    b.br(cont)
+    b.position_at_end(cont)
+    _advance(b, index2, loop2)
+    b.position_at_end(done2)
+    b.ret(b.add(b.load(runs), f.args[0]))
+    return f
+
+
+@register("collatz")
+def build_collatz(module: Module, name: str, rng: random.Random) -> Function:
+    """Total Collatz trajectory length for values below a small bound."""
+    f = create_function(module, name, I64, [I64], ["n"])
+    b = IRBuilder(f.entry_block)
+    total = b.alloca(I64, name="total")
+    value = b.alloca(I64, name="value")
+    b.store(0, total)
+    limit = b.and_(f.args[0], 31)
+    limit = b.add(limit, 2)
+
+    outer_loop, outer_body, outer_done, outer_index = _counted_loop(f, b, limit)
+    start = b.add(b.load(outer_index), 1)
+    b.store(start, value)
+    inner = f.add_block("inner")
+    odd = f.add_block("odd")
+    even = f.add_block("even")
+    step = f.add_block("step")
+    inner_done = f.add_block("inner_done")
+    b.br(inner)
+    b.position_at_end(inner)
+    current = b.load(value)
+    b.cond_br(b.icmp("sle", current, 1), inner_done, step)
+    b.position_at_end(step)
+    b.cond_br(b.icmp("eq", b.and_(current, 1), 0), even, odd)
+    b.position_at_end(even)
+    b.store(b.ashr(current, 1), value)
+    b.store(b.add(b.load(total), 1), total)
+    b.br(inner)
+    b.position_at_end(odd)
+    b.store(b.add(b.mul(current, 3), 1), value)
+    b.store(b.add(b.load(total), 1), total)
+    b.br(inner)
+    b.position_at_end(inner_done)
+    _advance(b, outer_index, outer_loop)
+    b.position_at_end(outer_done)
+    b.ret(b.load(total))
+    return f
+
+
+@register("gcd_chain")
+def build_gcd_chain(module: Module, name: str, rng: random.Random) -> Function:
+    """Iterated Euclid's algorithm over a derived sequence of pairs."""
+    f = create_function(module, name, I64, [I64, I64], ["a", "b"])
+    b = IRBuilder(f.entry_block)
+    x = b.alloca(I64, name="x")
+    y = b.alloca(I64, name="y")
+    acc = b.alloca(I64, name="acc")
+    b.store(b.add(b.mul(f.args[0], 7), 13), x)
+    b.store(b.add(b.mul(f.args[1], 5), 11), y)
+    b.store(0, acc)
+
+    loop = f.add_block("gcd_loop")
+    body = f.add_block("gcd_body")
+    done = f.add_block("gcd_done")
+    b.br(loop)
+    b.position_at_end(loop)
+    b.cond_br(b.icmp("ne", b.load(y), 0), body, done)
+    b.position_at_end(body)
+    remainder = b.srem(b.load(x), b.load(y))
+    b.store(b.load(y), x)
+    b.store(remainder, y)
+    b.store(b.add(b.load(acc), 1), acc)
+    b.br(loop)
+    b.position_at_end(done)
+    b.ret(b.add(b.load(x), b.load(acc)))
+    return f
+
+
+@register("power_mod")
+def build_power_mod(module: Module, name: str, rng: random.Random) -> Function:
+    """Square-and-multiply modular exponentiation."""
+    modulus = rng.choice((1000003, 999983, 104729))
+    f = create_function(module, name, I64, [I64, I64], ["base", "exponent"])
+    b = IRBuilder(f.entry_block)
+    result = b.alloca(I64, name="result")
+    base = b.alloca(I64, name="base_slot")
+    exponent = b.alloca(I64, name="exp_slot")
+    b.store(1, result)
+    b.store(b.srem(f.args[0], modulus), base)
+    b.store(b.and_(f.args[1], 63), exponent)
+
+    loop = f.add_block("loop")
+    body = f.add_block("body")
+    multiply = f.add_block("multiply")
+    square = f.add_block("square")
+    done = f.add_block("done")
+    b.br(loop)
+    b.position_at_end(loop)
+    b.cond_br(b.icmp("sgt", b.load(exponent), 0), body, done)
+    b.position_at_end(body)
+    b.cond_br(b.icmp("eq", b.and_(b.load(exponent), 1), 1), multiply, square)
+    b.position_at_end(multiply)
+    b.store(b.srem(b.mul(b.load(result), b.load(base)), modulus), result)
+    b.br(square)
+    b.position_at_end(square)
+    b.store(b.srem(b.mul(b.load(base), b.load(base)), modulus), base)
+    b.store(b.ashr(b.load(exponent), 1), exponent)
+    b.br(loop)
+    b.position_at_end(done)
+    b.ret(b.load(result))
+    return f
+
+
+@register("bubble_pass")
+def build_bubble_pass(module: Module, name: str, rng: random.Random) -> Function:
+    """Bubble-sort a small synthetic array and return an order fingerprint."""
+    size = 12
+    f = create_function(module, name, I64, [I64], ["seed"])
+    b = IRBuilder(f.entry_block)
+    data = b.alloca(I64, count=size, name="data")
+    loop, body, done, index = _counted_loop(f, b, size)
+    i = b.load(index)
+    b.store(b.and_(b.mul(b.add(i, f.args[0]), 37), 255), b.gep(data, i))
+    _advance(b, index, loop)
+
+    b.position_at_end(done)
+    outer_loop, outer_body, outer_done, outer_index = _counted_loop(f, b, size - 1)
+    inner_loop, inner_body, inner_done, inner_index = _counted_loop(f, b, size - 1)
+    j = b.load(inner_index)
+    left_ptr = b.gep(data, j)
+    right_ptr = b.gep(data, b.add(j, 1))
+    left = b.load(left_ptr)
+    right = b.load(right_ptr)
+    swap = f.add_block("swap")
+    keep = f.add_block("keep")
+    b.cond_br(b.icmp("sgt", left, right), swap, keep)
+    b.position_at_end(swap)
+    b.store(right, left_ptr)
+    b.store(left, right_ptr)
+    b.br(keep)
+    b.position_at_end(keep)
+    _advance(b, inner_index, inner_loop)
+    b.position_at_end(inner_done)
+    _advance(b, outer_index, outer_loop)
+
+    b.position_at_end(outer_done)
+    acc = b.alloca(I64, name="acc")
+    b.store(0, acc)
+    sum_loop, sum_body, sum_done, sum_index = _counted_loop(f, b, size)
+    k = b.load(sum_index)
+    b.store(b.add(b.mul(b.load(acc), 3), b.load(b.gep(data, k))), acc)
+    _advance(b, sum_index, sum_loop)
+    b.position_at_end(sum_done)
+    b.ret(b.load(acc))
+    return f
+
+
+@register("binary_search")
+def build_binary_search(module: Module, name: str, rng: random.Random) -> Function:
+    """Binary search in a synthetic sorted table, counting probes."""
+    size = 32
+    f = create_function(module, name, I64, [I64, I64], ["needle", "scale"])
+    b = IRBuilder(f.entry_block)
+    table = b.alloca(I64, count=size, name="table")
+    loop, body, done, index = _counted_loop(f, b, size)
+    i = b.load(index)
+    b.store(b.add(b.mul(i, 3), f.args[1]), b.gep(table, i))
+    _advance(b, index, loop)
+
+    b.position_at_end(done)
+    lo = b.alloca(I64, name="lo")
+    hi = b.alloca(I64, name="hi")
+    probes = b.alloca(I64, name="probes")
+    b.store(0, lo)
+    b.store(size - 1, hi)
+    b.store(0, probes)
+    target = b.add(b.srem(f.args[0], size * 3), f.args[1])
+
+    search = f.add_block("search")
+    check = f.add_block("check")
+    narrow = f.add_block("narrow")
+    go_right = f.add_block("go_right")
+    go_left = f.add_block("go_left")
+    found = f.add_block("found")
+    missing = f.add_block("missing")
+    b.br(search)
+    b.position_at_end(search)
+    b.cond_br(b.icmp("sle", b.load(lo), b.load(hi)), check, missing)
+    b.position_at_end(check)
+    mid = b.ashr(b.add(b.load(lo), b.load(hi)), 1)
+    b.store(b.add(b.load(probes), 1), probes)
+    value = b.load(b.gep(table, mid))
+    b.cond_br(b.icmp("eq", value, target), found, narrow)
+    b.position_at_end(narrow)
+    b.cond_br(b.icmp("slt", value, target), go_right, go_left)
+    b.position_at_end(go_right)
+    b.store(b.add(mid, 1), lo)
+    b.br(search)
+    b.position_at_end(go_left)
+    b.store(b.sub(mid, 1), hi)
+    b.br(search)
+    b.position_at_end(found)
+    b.ret(b.mul(b.load(probes), 2))
+    b.position_at_end(missing)
+    b.ret(b.add(b.load(probes), 100))
+    return f
+
+
+@register("state_machine")
+def build_state_machine(module: Module, name: str, rng: random.Random) -> Function:
+    """A token-scanner-like state machine driven by a pseudo-random stream."""
+    f = create_function(module, name, I64, [I64, I64], ["n", "seed"])
+    b = IRBuilder(f.entry_block)
+    state = b.alloca(I64, name="state")
+    count = b.alloca(I64, name="count")
+    stream = b.alloca(I64, name="stream")
+    b.store(0, state)
+    b.store(0, count)
+    b.store(f.args[1], stream)
+    steps = b.add(b.and_(f.args[0], 31), 8)
+
+    loop, body, done, index = _counted_loop(f, b, steps)
+    current = b.load(stream)
+    symbol = b.and_(current, 3)
+    b.store(b.add(b.mul(current, 1103515245), 12345), stream)
+
+    s0 = f.add_block("s0")
+    s1 = f.add_block("s1")
+    s2 = f.add_block("s2")
+    advance = f.add_block("advance")
+    state_value = b.load(state)
+    b.switch(state_value, s0, [(Constant(I64, 1), s1), (Constant(I64, 2), s2)])
+    b.position_at_end(s0)
+    b.store(b.select(b.icmp("eq", symbol, 0), 1, 0), state)
+    b.br(advance)
+    b.position_at_end(s1)
+    b.store(b.select(b.icmp("eq", symbol, 1), 2, 0), state)
+    b.br(advance)
+    b.position_at_end(s2)
+    b.store(b.add(b.load(count), 1), count)
+    b.store(0, state)
+    b.br(advance)
+    b.position_at_end(advance)
+    _advance(b, index, loop)
+    b.position_at_end(done)
+    b.ret(b.load(count))
+    return f
+
+
+@register("histogram")
+def build_histogram(module: Module, name: str, rng: random.Random) -> Function:
+    """Bucket a derived stream into a small histogram and score its skew."""
+    buckets = 8
+    f = create_function(module, name, I64, [I64, I64], ["n", "seed"])
+    b = IRBuilder(f.entry_block)
+    hist = b.alloca(I64, count=buckets, name="hist")
+    loop, body, done, index = _counted_loop(f, b, buckets)
+    b.store(0, b.gep(hist, b.load(index)))
+    _advance(b, index, loop)
+
+    b.position_at_end(done)
+    samples = b.add(b.and_(f.args[0], 63), buckets)
+    loop2, body2, done2, index2 = _counted_loop(f, b, samples)
+    i2 = b.load(index2)
+    raw = b.xor(b.mul(b.add(i2, f.args[1]), 2246822519), i2)
+    slot = b.and_(raw, buckets - 1)
+    cell = b.gep(hist, slot)
+    b.store(b.add(b.load(cell), 1), cell)
+    _advance(b, index2, loop2)
+
+    b.position_at_end(done2)
+    best = b.alloca(I64, name="best")
+    b.store(0, best)
+    loop3, body3, done3, index3 = _counted_loop(f, b, buckets)
+    value = b.load(b.gep(hist, b.load(index3)))
+    better = f.add_block("better")
+    worse = f.add_block("worse")
+    b.cond_br(b.icmp("sgt", value, b.load(best)), better, worse)
+    b.position_at_end(better)
+    b.store(value, best)
+    b.br(worse)
+    b.position_at_end(worse)
+    _advance(b, index3, loop3)
+    b.position_at_end(done3)
+    b.ret(b.mul(b.load(best), 10))
+    return f
+
+
+@register("fib_recursive")
+def build_fib_recursive(module: Module, name: str, rng: random.Random) -> Function:
+    """Recursive Fibonacci with a memo-free small bound (exercises recursion)."""
+    f = create_function(module, name, I64, [I64], ["n"])
+    b = IRBuilder(f.entry_block)
+    small = f.add_block("small")
+    recurse = f.add_block("recurse")
+    clamped = b.and_(f.args[0], 7)
+    b.cond_br(b.icmp("sle", clamped, 1), small, recurse)
+    b.position_at_end(small)
+    b.ret(clamped)
+    b.position_at_end(recurse)
+    left = b.call(f, [b.sub(clamped, 1)])
+    right = b.call(f, [b.sub(clamped, 2)])
+    b.ret(b.add(left, right))
+    return f
+
+
+@register("saturating_math")
+def build_saturating_math(module: Module, name: str, rng: random.Random) -> Function:
+    """Branch-heavy saturating arithmetic chain."""
+    limit = rng.choice((1 << 20, 1 << 24, 1 << 30))
+    f = create_function(module, name, I64, [I64, I64, I64], ["a", "b", "c"])
+    b = IRBuilder(f.entry_block)
+    total = b.alloca(I64, name="total")
+    b.store(0, total)
+
+    def saturate(value):
+        clipped_high = b.select(b.icmp("sgt", value, limit), limit, value)
+        return b.select(b.icmp("slt", clipped_high, 0 - limit), 0 - limit,
+                        clipped_high)
+
+    first = saturate(b.mul(f.args[0], f.args[1]))
+    second = saturate(b.add(first, b.mul(f.args[2], 17)))
+    third = saturate(b.sub(second, b.sdiv(f.args[0], 3)))
+    b.store(b.add(b.load(total), third), total)
+
+    positive = f.add_block("positive")
+    negative = f.add_block("negative")
+    merge = f.add_block("merge")
+    b.cond_br(b.icmp("sge", third, 0), positive, negative)
+    b.position_at_end(positive)
+    b.store(b.add(b.load(total), b.and_(third, 0xFF)), total)
+    b.br(merge)
+    b.position_at_end(negative)
+    b.store(b.sub(b.load(total), 5), total)
+    b.br(merge)
+    b.position_at_end(merge)
+    b.ret(b.load(total))
+    return f
+
+
+@register("matrix_mul")
+def build_matrix_mul(module: Module, name: str, rng: random.Random) -> Function:
+    """4x4 integer matrix multiply with an accumulating trace."""
+    dim = 4
+    f = create_function(module, name, I64, [I64], ["seed"])
+    b = IRBuilder(f.entry_block)
+    a = b.alloca(I64, count=dim * dim, name="a")
+    c = b.alloca(I64, count=dim * dim, name="c")
+    loop, body, done, index = _counted_loop(f, b, dim * dim)
+    i = b.load(index)
+    b.store(b.and_(b.add(b.mul(i, 7), f.args[0]), 15), b.gep(a, i))
+    b.store(0, b.gep(c, i))
+    _advance(b, index, loop)
+
+    b.position_at_end(done)
+    row_loop, row_body, row_done, row_index = _counted_loop(f, b, dim)
+    col_loop, col_body, col_done, col_index = _counted_loop(f, b, dim)
+    k_loop, k_body, k_done, k_index = _counted_loop(f, b, dim)
+    row = b.load(row_index)
+    col = b.load(col_index)
+    k = b.load(k_index)
+    left = b.load(b.gep(a, b.add(b.mul(row, dim), k)))
+    right = b.load(b.gep(a, b.add(b.mul(k, dim), col)))
+    cell = b.gep(c, b.add(b.mul(row, dim), col))
+    b.store(b.add(b.load(cell), b.mul(left, right)), cell)
+    _advance(b, k_index, k_loop)
+    b.position_at_end(k_done)
+    _advance(b, col_index, col_loop)
+    b.position_at_end(col_done)
+    _advance(b, row_index, row_loop)
+
+    b.position_at_end(row_done)
+    trace = b.alloca(I64, name="trace")
+    b.store(0, trace)
+    t_loop, t_body, t_done, t_index = _counted_loop(f, b, dim)
+    t = b.load(t_index)
+    b.store(b.add(b.load(trace), b.load(b.gep(c, b.add(b.mul(t, dim), t)))), trace)
+    _advance(b, t_index, t_loop)
+    b.position_at_end(t_done)
+    b.ret(b.load(trace))
+    return f
+
+
+@register("string_scan")
+def build_string_scan(module: Module, name: str, rng: random.Random) -> Function:
+    """Count occurrences of a byte class in a synthetic buffer (cal_file-like)."""
+    size = 40
+    f = create_function(module, name, I64, [I64, I64], ["needle", "seed"])
+    b = IRBuilder(f.entry_block)
+    buf = b.alloca(I64, count=size, name="buf")
+
+    invalid = f.add_block("invalid")
+    valid = f.add_block("valid")
+    b.cond_br(b.icmp("slt", f.args[0], 0), invalid, valid)
+    b.position_at_end(invalid)
+    b.ret(-1)
+
+    b.position_at_end(valid)
+    loop, body, done, index = _counted_loop(f, b, size)
+    i = b.load(index)
+    byte = b.and_(b.mul(b.add(i, f.args[1]), 131), 127)
+    b.store(byte, b.gep(buf, i))
+    _advance(b, index, loop)
+
+    b.position_at_end(done)
+    count = b.alloca(I64, name="count")
+    b.store(0, count)
+    needle = b.and_(f.args[0], 127)
+    loop2, body2, done2, index2 = _counted_loop(f, b, size)
+    value = b.load(b.gep(buf, b.load(index2)))
+    hit = f.add_block("hit")
+    miss = f.add_block("miss")
+    b.cond_br(b.icmp("eq", b.and_(value, 0x60), b.and_(needle, 0x60)), hit, miss)
+    b.position_at_end(hit)
+    b.store(b.add(b.load(count), 1), count)
+    b.br(miss)
+    b.position_at_end(miss)
+    _advance(b, index2, loop2)
+    b.position_at_end(done2)
+    b.ret(b.load(count))
+    return f
+
+
+# -- floating point kernels ----------------------------------------------------------------
+
+
+@register("newton_sqrt")
+def build_newton_sqrt(module: Module, name: str, rng: random.Random) -> Function:
+    """Newton iteration for a square root, returned as a scaled integer."""
+    f = create_function(module, name, I64, [I64], ["x"])
+    b = IRBuilder(f.entry_block)
+    magnitude = b.add(b.and_(f.args[0], 1023), 2)
+    as_float = b.cast("sitofp", magnitude, F64)
+    guess = b.alloca(F64, name="guess")
+    b.store(b.fdiv(as_float, 2.0), guess)
+
+    loop, body, done, index = _counted_loop(f, b, 8)
+    g = b.load(guess)
+    improved = b.fmul(b.fadd(g, b.fdiv(as_float, g)), 0.5)
+    b.store(improved, guess)
+    _advance(b, index, loop)
+    b.position_at_end(done)
+    scaled = b.fmul(b.load(guess), 1000.0)
+    b.ret(b.cast("fptosi", scaled, I64))
+    return f
+
+
+@register("dot_product")
+def build_dot_product(module: Module, name: str, rng: random.Random) -> Function:
+    """Floating-point dot product of two derived vectors."""
+    size = 16
+    f = create_function(module, name, I64, [I64, I64], ["n", "seed"])
+    b = IRBuilder(f.entry_block)
+    xs = b.alloca(F64, count=size, name="xs")
+    ys = b.alloca(F64, count=size, name="ys")
+    loop, body, done, index = _counted_loop(f, b, size)
+    i = b.load(index)
+    fi = b.cast("sitofp", i, F64)
+    seed = b.cast("sitofp", b.and_(f.args[1], 15), F64)
+    b.store(b.fadd(b.fmul(fi, 1.5), seed), b.gep(xs, i))
+    b.store(b.fsub(b.fmul(fi, 0.75), 2.0), b.gep(ys, i))
+    _advance(b, index, loop)
+
+    b.position_at_end(done)
+    total = b.alloca(F64, name="total")
+    b.store(0.0, total)
+    loop2, body2, done2, index2 = _counted_loop(f, b, size)
+    i2 = b.load(index2)
+    product = b.fmul(b.load(b.gep(xs, i2)), b.load(b.gep(ys, i2)))
+    b.store(b.fadd(b.load(total), product), total)
+    _advance(b, index2, loop2)
+    b.position_at_end(done2)
+    b.ret(b.cast("fptosi", b.fmul(b.load(total), 100.0), I64))
+    return f
+
+
+@register("poly_eval")
+def build_poly_eval(module: Module, name: str, rng: random.Random) -> Function:
+    """Horner evaluation of a fixed polynomial at a derived point."""
+    degree = 6
+    coeffs = [rng.randrange(1, 9) for _ in range(degree)]
+    f = create_function(module, name, I64, [I64, I64], ["x", "scale"])
+    b = IRBuilder(f.entry_block)
+    x = b.srem(f.args[0], 17)
+    acc = b.alloca(I64, name="acc")
+    b.store(coeffs[0], acc)
+    for coefficient in coeffs[1:]:
+        current = b.load(acc)
+        b.store(b.add(b.mul(current, x), coefficient), acc)
+    scaled = b.mul(b.load(acc), b.select(b.icmp("eq", f.args[1], 0), 1, f.args[1]))
+    b.ret(b.srem(scaled, 1000003))
+    return f
+
+
+# -- kernels exercising special control flow ------------------------------------------------
+
+
+@register("setjmp_guard")
+def build_setjmp_guard(module: Module, name: str, rng: random.Random) -> Function:
+    """A function whose entry region contains a setjmp call site.
+
+    The fission pass must refuse to separate the region holding the setjmp
+    call (section 3.2.4); this kernel exists so that constraint is exercised
+    by every suite.
+    """
+    setjmp = module.declare_function(
+        "setjmp", FunctionType(I64, [PointerType(I64)]))
+    f = create_function(module, name, I64, [I64], ["n"])
+    b = IRBuilder(f.entry_block)
+    jmpbuf = b.alloca(I64, count=8, name="jmpbuf")
+    flag = b.call(setjmp, [jmpbuf])
+    normal = f.add_block("normal")
+    recovered = f.add_block("recovered")
+    work = f.add_block("work")
+    done = f.add_block("done")
+    b.cond_br(b.icmp("eq", flag, 0), normal, recovered)
+    b.position_at_end(recovered)
+    b.ret(-1)
+    b.position_at_end(normal)
+    total = b.alloca(I64, name="total")
+    b.store(0, total)
+    b.br(work)
+    b.position_at_end(work)
+    bound = b.and_(f.args[0], 15)
+    loop, body, loop_done, index = _counted_loop(f, b, bound)
+    b.store(b.add(b.load(total), b.mul(b.load(index), 3)), total)
+    _advance(b, index, loop)
+    b.position_at_end(loop_done)
+    b.br(done)
+    b.position_at_end(done)
+    b.ret(b.load(total))
+    return f
+
+
+@register("eh_pair")
+def build_eh_pair(module: Module, name: str, rng: random.Random) -> Function:
+    """A function with a modelled try/catch pair (EH consistency constraint)."""
+    may_throw = module.declare_function("may_throw_helper",
+                                        FunctionType(I64, [I64]))
+    f = create_function(module, name, I64, [I64], ["n"])
+    b = IRBuilder(f.entry_block)
+    tryb = f.add_block("try")
+    catchb = f.add_block("catch")
+    after = f.add_block("after")
+    b.br(tryb)
+    b.position_at_end(tryb)
+    risky = b.call(may_throw, [f.args[0]], may_throw=True)
+    b.cond_br(b.icmp("slt", risky, 0), catchb, after)
+    b.position_at_end(catchb)
+    b.ret(-7)
+    b.position_at_end(after)
+    b.ret(b.add(risky, 1))
+    f.eh_pairs.append(("try", "catch"))
+    return f

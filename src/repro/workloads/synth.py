@@ -1,0 +1,258 @@
+"""Seeded program synthesiser.
+
+Composes kernels from :mod:`repro.workloads.kernels` into multi-module
+programs with the structural features the Khaos evaluation depends on:
+
+* many mid-sized functions with loops and branches (fission material);
+* functions with compatible signatures (fusion material);
+* direct call chains through *driver* functions (call-graph features);
+* an indirect-call *dispatcher* over address-taken kernels (tagged-pointer
+  handling);
+* a function containing ``setjmp`` and a function with a modelled try/catch
+  pair (the fission side conditions);
+* a two-module layout with exported symbols (trampoline handling under LTO);
+* a deterministic ``main`` whose observable output doubles as the semantic
+  oracle and whose dynamic cycle count is the runtime-overhead metric.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir.builder import IRBuilder, create_function
+from ..ir.function import Function, Linkage
+from ..ir.module import Module, Program
+from ..ir.types import FunctionType, PointerType, I64
+from ..ir.verifier import assert_valid
+from ..utils import stable_hash
+from .kernels import build_kernel, kernel_names
+
+# Kernels with the (i64, i64) -> i64 shape, usable behind a function pointer.
+_TWO_ARG_KERNELS = ("checksum", "rle_length", "gcd_chain", "power_mod",
+                    "binary_search", "state_machine", "histogram",
+                    "dot_product", "poly_eval", "string_scan")
+_ONE_ARG_KERNELS = ("collatz", "bubble_pass", "fib_recursive", "matrix_mul",
+                    "newton_sqrt")
+_THREE_ARG_KERNELS = ("saturating_math",)
+_SPECIAL_KERNELS = ("setjmp_guard", "eh_pair")
+
+
+@dataclass
+class VulnerableFunctionSpec:
+    """A named vulnerable function (Table 3) to inject into the program."""
+
+    function_name: str
+    cves: Tuple[str, ...]
+    kernel_kind: str = "string_scan"
+
+
+@dataclass
+class ProgramProfile:
+    """Deterministic description of one synthetic program."""
+
+    name: str
+    suite: str = "misc"
+    seed: int = 1
+    kernel_count: int = 12
+    driver_count: int = 3
+    dispatcher: bool = True
+    include_special: bool = True
+    two_modules: bool = True
+    iterations: int = 3
+    vulnerable: Tuple[VulnerableFunctionSpec, ...] = ()
+
+    def rng(self) -> random.Random:
+        return random.Random(stable_hash(self.suite, self.name, self.seed))
+
+
+def synthesize_program(profile: ProgramProfile) -> Program:
+    """Build the program described by ``profile`` (deterministically)."""
+    rng = profile.rng()
+    lib = Module(f"{profile.name}.lib")
+    app = Module(f"{profile.name}.app") if profile.two_modules else lib
+
+    putint = app.declare_function("putint", FunctionType(I64, [I64]))
+    if lib is not app:
+        lib.declare_function("putint", FunctionType(I64, [I64]))
+
+    kernels = _build_kernels(profile, rng, lib, app)
+    drivers = _build_drivers(profile, rng, app, kernels)
+    dispatcher = _build_dispatcher(profile, rng, app, kernels) \
+        if profile.dispatcher else None
+    _build_main(profile, rng, app, putint, kernels, drivers, dispatcher)
+
+    modules = [lib, app] if lib is not app else [app]
+    program = Program(profile.name, modules, entry="main")
+    program.metadata["suite"] = profile.suite
+    program.metadata["profile_seed"] = profile.seed
+    assert_valid(program)
+    return program
+
+
+# -- pieces ---------------------------------------------------------------------------
+
+
+def _build_kernels(profile: ProgramProfile, rng: random.Random,
+                   lib: Module, app: Module) -> Dict[str, List[Function]]:
+    """Create kernel functions grouped by arity category."""
+    groups: Dict[str, List[Function]] = {"two": [], "one": [], "three": [],
+                                         "special": [], "vulnerable": []}
+    # draw kinds in shuffled rounds so one program rarely contains more than a
+    # couple of structurally identical functions (near-duplicates would make
+    # the diffing precision metric ambiguous)
+    all_kinds = list(_TWO_ARG_KERNELS + _ONE_ARG_KERNELS + _THREE_ARG_KERNELS)
+    kernel_count = min(profile.kernel_count, len(all_kinds))
+    pool: List[str] = []
+    while len(pool) < kernel_count:
+        round_kinds = list(all_kinds)
+        rng.shuffle(round_kinds)
+        pool.extend(round_kinds)
+
+    for index in range(kernel_count):
+        kind = pool[index]
+        target = lib if (profile.two_modules and rng.random() < 0.5) else app
+        name = f"{kind}_{index}"
+        function = build_kernel(kind, target, name, rng)
+        if target is lib:
+            function.linkage = Linkage.EXPORTED
+        if kind in _TWO_ARG_KERNELS:
+            groups["two"].append(function)
+        elif kind in _ONE_ARG_KERNELS:
+            groups["one"].append(function)
+        else:
+            groups["three"].append(function)
+
+    if profile.include_special:
+        for kind in _SPECIAL_KERNELS:
+            function = build_kernel(kind, app, f"{kind}_fn", rng)
+            groups["special"].append(function)
+
+    for spec in profile.vulnerable:
+        target = lib if profile.two_modules else app
+        function = build_kernel(spec.kernel_kind, target, spec.function_name, rng)
+        function.linkage = Linkage.EXPORTED
+        function.attributes["cve"] = list(spec.cves)
+        function.attributes["vulnerable"] = True
+        groups["vulnerable"].append(function)
+        if spec.kernel_kind in _TWO_ARG_KERNELS:
+            groups["two"].append(function)
+        elif spec.kernel_kind in _ONE_ARG_KERNELS:
+            groups["one"].append(function)
+    return groups
+
+
+def _call_kernel(builder: IRBuilder, kernel: Function, first, second):
+    """Call a kernel with however many arguments its signature needs."""
+    arity = len(kernel.args)
+    if arity == 1:
+        return builder.call(kernel, [first])
+    if arity == 2:
+        return builder.call(kernel, [first, second])
+    return builder.call(kernel, [first, second, builder.add(first, second)])
+
+
+def _build_drivers(profile: ProgramProfile, rng: random.Random, app: Module,
+                   kernels: Dict[str, List[Function]]) -> List[Function]:
+    callable_kernels = (kernels["two"] + kernels["one"] + kernels["three"]
+                        + kernels["vulnerable"])
+    if not callable_kernels:
+        return []
+    drivers: List[Function] = []
+    for index in range(profile.driver_count):
+        driver = create_function(app, f"driver_{index}", I64, [I64, I64],
+                                 ["work", "salt"])
+        b = IRBuilder(driver.entry_block)
+        acc = b.alloca(I64, name="acc")
+        b.store(driver.args[1], acc)
+
+        chosen = rng.sample(callable_kernels,
+                            k=min(len(callable_kernels), rng.randint(2, 4)))
+        for position, kernel in enumerate(chosen):
+            value = _call_kernel(b, kernel,
+                                 b.add(driver.args[0], position),
+                                 b.xor(driver.args[1], position * 3))
+            b.store(b.xor(b.load(acc), value), acc)
+
+        low = f"{index}.low"
+        high = f"{index}.high"
+        low_block = driver.add_block(low)
+        high_block = driver.add_block(high)
+        b.cond_br(b.icmp("slt", b.load(acc), 0), low_block, high_block)
+        b.position_at_end(low_block)
+        b.ret(b.sub(0, b.load(acc)))
+        b.position_at_end(high_block)
+        b.ret(b.and_(b.load(acc), 0xFFFFFF))
+        drivers.append(driver)
+    return drivers
+
+
+def _build_dispatcher(profile: ProgramProfile, rng: random.Random, app: Module,
+                      kernels: Dict[str, List[Function]]) -> Optional[Function]:
+    targets = kernels["two"][:4]
+    if len(targets) < 2:
+        return None
+    fptr_type = PointerType(targets[0].ftype)
+    dispatcher = create_function(app, "dispatch_op", I64, [I64, I64, I64],
+                                 ["which", "a", "b"])
+    b = IRBuilder(dispatcher.entry_block)
+    slot = b.alloca(fptr_type, name="handler")
+    blocks = [dispatcher.add_block(f"case_{i}") for i in range(len(targets))]
+    join = dispatcher.add_block("join")
+
+    selector = b.srem(dispatcher.args[0], len(targets))
+    from ..ir.values import Constant
+    default = blocks[0]
+    cases = [(Constant(I64, i), block) for i, block in enumerate(blocks[1:], start=1)]
+    b.switch(selector, default, cases)
+    for block, target in zip(blocks, targets):
+        b.position_at_end(block)
+        b.store(target, slot)
+        b.br(join)
+    b.position_at_end(join)
+    handler = b.load(slot)
+    result = b.call(handler, [dispatcher.args[1], dispatcher.args[2]])
+    b.ret(result)
+    return dispatcher
+
+
+def _build_main(profile: ProgramProfile, rng: random.Random, app: Module,
+                putint: Function, kernels: Dict[str, List[Function]],
+                drivers: Sequence[Function],
+                dispatcher: Optional[Function]) -> None:
+    main = create_function(app, "main", I64, [], linkage=Linkage.EXPORTED)
+    b = IRBuilder(main.entry_block)
+    acc = b.alloca(I64, name="acc")
+    index = b.alloca(I64, name="i")
+    b.store(rng.randrange(1, 64), acc)
+    b.store(0, index)
+
+    loop = main.add_block("loop")
+    body = main.add_block("body")
+    done = main.add_block("done")
+    b.br(loop)
+    b.position_at_end(loop)
+    i = b.load(index)
+    b.cond_br(b.icmp("slt", i, profile.iterations), body, done)
+
+    b.position_at_end(body)
+    current = b.load(acc)
+    for position, driver in enumerate(drivers):
+        value = b.call(driver, [b.add(i, position), b.xor(current, position)])
+        current = b.xor(current, value)
+    if dispatcher is not None:
+        value = b.call(dispatcher, [i, b.add(i, 5), b.and_(current, 0xFF)])
+        current = b.add(current, value)
+    for special in kernels["special"]:
+        value = b.call(special, [b.and_(current, 31)])
+        current = b.xor(current, value)
+    b.store(current, acc)
+    b.call(putint, [b.and_(current, 0xFFFF)])
+    b.store(b.add(i, 1), index)
+    b.br(loop)
+
+    b.position_at_end(done)
+    final = b.load(acc)
+    b.call(putint, [final])
+    b.ret(b.and_(final, 0xFF))

@@ -1,0 +1,195 @@
+"""Tests for CFG, dominators, loops, block frequency, def-use, call graph and
+the innocuous-block analysis."""
+
+import pytest
+
+from repro.analysis import (BlockFrequency, CallGraph, ControlFlowGraph,
+                            DominatorTree, LoopInfo, allocas_only_used_in,
+                            count_innocuous_blocks, innocuous_blocks,
+                            is_innocuous_block, region_inputs, region_outputs)
+from repro.ir import (GlobalVariable, IRBuilder, Module, Program,
+                      create_function, I64)
+
+
+def build_loop_function():
+    module = Module("m")
+    f = create_function(module, "loopy", I64, [I64], ["n"])
+    b = IRBuilder(f.entry_block)
+    acc = b.alloca(I64, name="acc")
+    index = b.alloca(I64, name="i")
+    b.store(0, acc)
+    b.store(0, index)
+    loop = f.add_block("loop")
+    body = f.add_block("body")
+    done = f.add_block("done")
+    b.br(loop)
+    b.position_at_end(loop)
+    i = b.load(index)
+    b.cond_br(b.icmp("slt", i, f.args[0]), body, done)
+    b.position_at_end(body)
+    b.store(b.add(b.load(acc), i), acc)
+    b.store(b.add(i, 1), index)
+    b.br(loop)
+    b.position_at_end(done)
+    b.ret(b.load(acc))
+    return module, f, {"loop": loop, "body": body, "done": done}
+
+
+class TestCFG:
+    def test_successors_and_predecessors(self):
+        _, f, blocks = build_loop_function()
+        cfg = ControlFlowGraph(f)
+        assert blocks["body"] in cfg.successors[blocks["loop"]]
+        assert blocks["loop"] in cfg.predecessors[blocks["body"]]
+        assert f.entry_block in cfg.predecessors[blocks["loop"]]
+
+    def test_reverse_post_order_starts_at_entry(self):
+        _, f, _ = build_loop_function()
+        rpo = ControlFlowGraph(f).reverse_post_order()
+        assert rpo[0] is f.entry_block
+        assert len(rpo) == len(f.blocks)
+
+    def test_unreachable_blocks_detected(self):
+        module = Module("m")
+        f = create_function(module, "f", I64, [])
+        IRBuilder(f.entry_block).ret(0)
+        dead = f.add_block("dead")
+        IRBuilder(dead).ret(1)
+        cfg = ControlFlowGraph(f)
+        assert dead in cfg.unreachable_blocks()
+
+    def test_exit_blocks(self):
+        _, f, blocks = build_loop_function()
+        cfg = ControlFlowGraph(f)
+        assert cfg.exit_blocks() == [blocks["done"]]
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        _, f, blocks = build_loop_function()
+        domtree = DominatorTree(f)
+        for block in f.blocks:
+            assert domtree.dominates(f.entry_block, block)
+
+    def test_loop_header_dominates_body(self):
+        _, f, blocks = build_loop_function()
+        domtree = DominatorTree(f)
+        assert domtree.dominates(blocks["loop"], blocks["body"])
+        assert not domtree.dominates(blocks["body"], blocks["loop"])
+
+    def test_immediate_dominators(self):
+        _, f, blocks = build_loop_function()
+        domtree = DominatorTree(f)
+        assert domtree.immediate_dominator(blocks["body"]) is blocks["loop"]
+        assert domtree.immediate_dominator(f.entry_block) is None
+
+    def test_dominated_region_is_subtree(self):
+        _, f, blocks = build_loop_function()
+        domtree = DominatorTree(f)
+        region = domtree.dominated_region(blocks["loop"])
+        assert blocks["body"] in region and blocks["done"] in region
+        assert f.entry_block not in region
+
+
+class TestLoopsAndFrequency:
+    def test_natural_loop_detected(self):
+        _, f, blocks = build_loop_function()
+        loops = LoopInfo(f)
+        assert len(loops.loops) == 1
+        loop = loops.loops[0]
+        assert loop.header is blocks["loop"]
+        assert blocks["body"] in loop.blocks
+
+    def test_loop_depth(self):
+        _, f, blocks = build_loop_function()
+        loops = LoopInfo(f)
+        assert loops.loop_depth(blocks["body"]) == 1
+        assert loops.loop_depth(f.entry_block) == 0
+
+    def test_block_frequency_scales_loop_body(self):
+        _, f, blocks = build_loop_function()
+        freq = BlockFrequency(f)
+        assert freq.get(blocks["body"]) > freq.get(f.entry_block)
+        assert freq.get(f.entry_block) == pytest.approx(1.0)
+
+    def test_cold_block_below_threshold(self):
+        module = Module("m")
+        f = create_function(module, "f", I64, [I64])
+        b = IRBuilder(f.entry_block)
+        rare = f.add_block("rare")
+        common = f.add_block("common")
+        b.cond_br(b.icmp("eq", f.args[0], 0), rare, common)
+        b.position_at_end(rare)
+        b.ret(1)
+        b.position_at_end(common)
+        b.ret(2)
+        freq = BlockFrequency(f)
+        assert freq.get(rare) < 1.0
+
+
+class TestDefUseAndRegions:
+    def test_region_inputs_and_outputs(self):
+        _, f, blocks = build_loop_function()
+        region = [blocks["loop"], blocks["body"], blocks["done"]]
+        inputs = region_inputs(region)
+        # the two allocas and the argument are defined outside the region
+        assert len(inputs) == 3
+        outputs = region_outputs(f, region)
+        assert outputs == []
+
+    def test_allocas_only_used_in_region(self):
+        _, f, blocks = build_loop_function()
+        region = [blocks["loop"], blocks["body"], blocks["done"]]
+        lazy = allocas_only_used_in(f, region)
+        # `acc` is stored once in the entry, so it is not movable; `i` is too
+        names = {a.name for a in lazy}
+        assert "acc" not in names and "i" not in names
+
+
+class TestCallGraph:
+    def test_direct_edges_and_degrees(self, demo_module):
+        graph = CallGraph(demo_module)
+        assert graph.calls("main", "classify")
+        assert graph.in_degree("classify") == 1
+        assert graph.out_degree("main") >= 4
+
+    def test_address_taken_detection(self, demo_module):
+        graph = CallGraph(demo_module)
+        assert graph.is_address_taken("scale")
+        assert graph.is_address_taken("mix")
+        assert not graph.is_address_taken("classify")
+
+    def test_directly_related(self, demo_module):
+        graph = CallGraph(demo_module)
+        assert graph.directly_related("main", "classify")
+        assert not graph.directly_related("scale", "mix")
+
+
+class TestInnocuousAnalysis:
+    def test_pure_arithmetic_block_is_innocuous(self, demo_module):
+        scale = demo_module.get_function("scale")
+        assert is_innocuous_block(scale, scale.entry_block)
+
+    def test_global_store_is_not_innocuous(self):
+        module = Module("m")
+        counter = GlobalVariable("counter", I64, initializer=0)
+        module.add_global(counter)
+        f = create_function(module, "bump", I64, [])
+        b = IRBuilder(f.entry_block)
+        b.store(b.add(b.load(counter), 1), counter)
+        b.ret(0)
+        assert not is_innocuous_block(f, f.entry_block)
+        assert count_innocuous_blocks(f) == 0
+
+    def test_local_store_is_innocuous(self):
+        module = Module("m")
+        f = create_function(module, "local", I64, [])
+        b = IRBuilder(f.entry_block)
+        slot = b.alloca(I64)
+        b.store(5, slot)
+        b.ret(b.load(slot))
+        assert innocuous_blocks(f) == [f.entry_block]
+
+    def test_external_call_is_not_innocuous(self, demo_module):
+        main = demo_module.get_function("main")
+        assert not is_innocuous_block(main, main.entry_block)

@@ -1,0 +1,107 @@
+"""Tests for the O-LLVM baselines (Sub / Bog / Fla) and BinTuner."""
+
+import pytest
+
+from repro.backend import lower_program, opcode_histogram
+from repro.baselines import (BinTuner, BogusControlFlow, ControlFlowFlattening,
+                             InstructionSubstitution, bogus_obfuscator,
+                             flattening_obfuscator, standard_ollvm_baselines,
+                             sub_obfuscator)
+from repro.ir import BinaryOp, Switch, assert_valid
+from repro.opt import OptOptions, optimize_program
+from repro.vm import run_program
+from tests.conftest import build_demo_program
+
+
+@pytest.fixture(scope="module")
+def demo_baseline():
+    return run_program(optimize_program(build_demo_program())).observable()
+
+
+class TestInstructionSubstitution:
+    def test_preserves_semantics(self, demo_baseline):
+        result = sub_obfuscator().obfuscate(build_demo_program())
+        assert run_program(optimize_program(result.program)).observable() == demo_baseline
+
+    def test_rewrites_arithmetic(self):
+        program = build_demo_program().link()
+        scale = program.modules[0].get_function("scale")
+        before_ops = [i.op for i in scale.instructions() if isinstance(i, BinaryOp)]
+        InstructionSubstitution(ratio=1.0).run(program)
+        after_ops = [i.op for i in scale.instructions() if isinstance(i, BinaryOp)]
+        assert len(after_ops) > len(before_ops)
+        assert_valid(program)
+
+    def test_ratio_zero_is_noop(self):
+        program = build_demo_program().link()
+        changed = InstructionSubstitution(ratio=0.0).run(program)
+        assert not changed
+
+    def test_provenance_is_identity(self):
+        result = sub_obfuscator().obfuscate(build_demo_program())
+        assert result.provenance.is_correct_match("classify", "classify")
+        assert not result.provenance.is_correct_match("classify", "scale")
+
+
+class TestBogusControlFlow:
+    def test_preserves_semantics(self, demo_baseline):
+        result = bogus_obfuscator(ratio=1.0).obfuscate(build_demo_program())
+        assert run_program(optimize_program(result.program)).observable() == demo_baseline
+
+    def test_adds_blocks_and_opaque_global(self):
+        program = build_demo_program().link()
+        before = sum(f.block_count() for f in program.defined_functions())
+        BogusControlFlow(ratio=1.0).run(program)
+        after = sum(f.block_count() for f in program.defined_functions())
+        assert after > before
+        assert program.modules[0].get_global("__bogus_opaque_x") is not None
+        assert_valid(program)
+
+
+class TestFlattening:
+    def test_preserves_semantics_full_ratio(self, demo_baseline):
+        result = flattening_obfuscator(ratio=1.0).obfuscate(build_demo_program())
+        assert run_program(optimize_program(result.program)).observable() == demo_baseline
+
+    def test_dispatcher_switch_created(self):
+        program = build_demo_program().link()
+        ControlFlowFlattening(ratio=1.0).run(program)
+        flattened = [f for f in program.defined_functions()
+                     if f.attributes.get("ollvm_flattened")]
+        assert flattened
+        for f in flattened:
+            assert any(isinstance(i, Switch) for i in f.instructions())
+
+    def test_ratio_label(self):
+        assert flattening_obfuscator(1.0).label == "fla"
+        assert flattening_obfuscator(0.1).label == "fla-10"
+
+    def test_standard_baseline_set(self):
+        labels = [o.label for o in standard_ollvm_baselines()]
+        assert labels == ["sub", "bog", "fla-10"]
+
+
+class TestBinTuner:
+    def test_search_finds_configuration_distant_from_o0(self):
+        tuner = BinTuner(iterations=4, seed=3)
+        result = tuner.tune(build_demo_program())
+        assert result.best_score > 0
+        assert len(result.history) == 5
+
+    def test_tuned_binary_differs_from_baseline(self):
+        tuner = BinTuner(iterations=3, seed=1)
+        result = tuner.tune(build_demo_program())
+        o0 = lower_program(optimize_program(build_demo_program(),
+                                            OptOptions(level=0, lto=False)))
+        assert opcode_histogram(result.best_binary) != opcode_histogram(o0)
+
+    def test_deterministic_given_seed(self):
+        first = BinTuner(iterations=3, seed=9).tune(build_demo_program())
+        second = BinTuner(iterations=3, seed=9).tune(build_demo_program())
+        assert first.best_options == second.best_options
+        assert first.best_score == pytest.approx(second.best_score)
+
+    def test_tuned_options_preserve_semantics(self, demo_baseline):
+        result = BinTuner(iterations=3, seed=5).tune(build_demo_program())
+        optimized = optimize_program(build_demo_program(), result.best_options)
+        assert run_program(optimized).observable() == demo_baseline

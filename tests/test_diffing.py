@@ -1,0 +1,124 @@
+"""Tests for the five diffing tools and the matching/metric framework."""
+
+import pytest
+
+from repro.core import ProvenanceMap
+from repro.diffing import (Asm2Vec, BinDiff, DeepBinDiff, Safe, VulSeeker,
+                           all_differs, differ_by_name, escape_at_n,
+                           precision_at_1, tool_table)
+from repro.toolchain import build_baseline, build_obfuscated, obfuscator_for
+from repro.workloads import find_program
+from tests.conftest import build_demo_program
+
+
+@pytest.fixture(scope="module")
+def demo_binaries():
+    baseline = build_baseline(build_demo_program())
+    khaos = build_obfuscated(build_demo_program(), obfuscator_for("fufi.all"))
+    sub = build_obfuscated(build_demo_program(), obfuscator_for("sub"))
+    return baseline, khaos, sub
+
+
+class TestFramework:
+    def test_tool_table_matches_table1(self):
+        rows = {row["diffing"]: row for row in tool_table()}
+        assert rows["BinDiff"]["symbol relying"] == "Y"
+        assert rows["BinDiff"]["call-graph lacking"] == "N"
+        assert rows["VulSeeker"]["memory consuming"] == "Y"
+        assert rows["Asm2Vec"]["call-graph lacking"] == "Y"
+        assert rows["DeepBinDiff"]["granularity"] == "basic block"
+        assert len(rows) == 5
+
+    def test_differ_by_name(self):
+        assert differ_by_name("bindiff").name == "BinDiff"
+        with pytest.raises(KeyError):
+            differ_by_name("ghidra")
+
+    @pytest.mark.parametrize("differ", all_differs(), ids=lambda d: d.name)
+    def test_self_diff_has_high_precision(self, differ, demo_binaries):
+        baseline, _, _ = demo_binaries
+        provenance = ProvenanceMap(baseline.binary.function_names())
+        result = differ.diff(baseline.binary, baseline.binary)
+        # feature-only tools can tie on structurally identical functions, so
+        # "high" rather than perfect; BinDiff has symbols and must be perfect
+        minimum = 1.0 if differ.name == "BinDiff" else 0.6
+        assert precision_at_1(result, provenance) >= minimum
+        assert 0.0 <= result.similarity_score <= 1.0
+
+    @pytest.mark.parametrize("differ", all_differs(), ids=lambda d: d.name)
+    def test_result_contains_every_original_function(self, differ, demo_binaries):
+        baseline, khaos, _ = demo_binaries
+        result = differ.diff(baseline.binary, khaos.binary)
+        assert set(result.matches) == set(baseline.binary.function_names())
+        for ranked in result.matches.values():
+            scores = [score for _, score in ranked]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_rank_of_correct_uses_provenance(self, demo_binaries):
+        baseline, khaos, _ = demo_binaries
+        result = BinDiff().diff(baseline.binary, khaos.binary)
+        for name in baseline.binary.function_names():
+            rank = result.rank_of_correct(name, khaos.provenance)
+            assert rank is None or rank >= 1
+
+    def test_escape_at_n(self, demo_binaries):
+        baseline, khaos, _ = demo_binaries
+        result = BinDiff().diff(baseline.binary, khaos.binary)
+        name = baseline.binary.function_names()[0]
+        # escape at a huge n can only be True if there is no correct match at all
+        rank = result.rank_of_correct(name, khaos.provenance)
+        assert escape_at_n(result, khaos.provenance, name, 10 ** 6) == (rank is None)
+
+
+class TestToolBehaviour:
+    def test_bindiff_exploits_symbols(self, demo_binaries):
+        baseline, khaos, _ = demo_binaries
+        unstripped = BinDiff().diff(baseline.binary, khaos.binary)
+        stripped = BinDiff().diff(baseline.binary, khaos.binary.strip())
+        provenance = khaos.provenance
+        assert (precision_at_1(unstripped, provenance)
+                >= precision_at_1(stripped, provenance))
+
+    def test_khaos_hurts_bindiff_more_than_substitution(self, demo_binaries):
+        """The paper's core claim in its most robust form: the inter-procedural
+        obfuscation degrades the symbol/structure matcher, while instruction
+        substitution leaves it intact (names and function set unchanged)."""
+        workload = find_program("429.mcf")
+        baseline = build_baseline(workload.build())
+        sub = build_obfuscated(workload.build(), obfuscator_for("sub"))
+        khaos = build_obfuscated(workload.build(), obfuscator_for("fufi.all"))
+        differ = BinDiff()
+        sub_precision = precision_at_1(differ.diff(baseline.binary, sub.binary),
+                                       sub.provenance)
+        khaos_precision = precision_at_1(differ.diff(baseline.binary, khaos.binary),
+                                         khaos.provenance)
+        assert sub_precision == pytest.approx(1.0)
+        assert khaos_precision < sub_precision
+
+    def test_semantic_tools_produce_valid_precision_under_khaos(self, demo_binaries):
+        baseline, khaos, _ = demo_binaries
+        for differ in (VulSeeker(), Asm2Vec(), Safe()):
+            result = differ.diff(baseline.binary, khaos.binary)
+            assert 0.0 <= precision_at_1(result, khaos.provenance) <= 1.0
+
+    def test_deepbindiff_votes_sum_to_one(self, demo_binaries):
+        baseline, khaos, _ = demo_binaries
+        result = DeepBinDiff().diff(baseline.binary, khaos.binary)
+        for ranked in result.matches.values():
+            if ranked:
+                assert sum(score for _, score in ranked) <= 1.0 + 1e-6
+
+    def test_similarity_score_in_unit_interval(self, demo_binaries):
+        baseline, khaos, sub = demo_binaries
+        for differ in all_differs():
+            for variant in (khaos, sub):
+                score = differ.diff(baseline.binary, variant.binary).similarity_score
+                assert 0.0 <= score <= 1.0
+
+    def test_workload_scale_diff(self):
+        workload = find_program("factor")
+        baseline = build_baseline(workload.build())
+        khaos = build_obfuscated(workload.build(), obfuscator_for("fufi.ori"))
+        result = Asm2Vec().diff(baseline.binary, khaos.binary)
+        precision = precision_at_1(result, khaos.provenance)
+        assert 0.0 <= precision <= 1.0

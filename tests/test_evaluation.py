@@ -1,0 +1,117 @@
+"""Tests for the evaluation drivers (small configurations of each experiment)."""
+
+import pytest
+
+from repro.evaluation import (EXPERIMENTS, experiment_names, figure9,
+                              format_table, matrix_table, measure_escape,
+                              measure_internals, measure_opcode_distance,
+                              measure_overhead, measure_precision,
+                              overhead_table, run_experiment)
+from repro.diffing import Asm2Vec, BinDiff
+from repro.workloads import coreutils_programs, embedded_programs, find_program
+
+
+@pytest.fixture(scope="module")
+def tiny_workloads():
+    return [find_program("true"), find_program("cat")]
+
+
+class TestOverheadExperiment:
+    def test_measure_overhead_rows(self, tiny_workloads):
+        report = measure_overhead(tiny_workloads, labels=("fission", "fufi.ori"))
+        assert len(report.rows) == 4
+        assert set(report.labels()) == {"fission", "fufi.ori"}
+        for row in report.rows:
+            assert row.baseline_cycles > 0 and row.cycles > 0
+        assert isinstance(report.geomean("fission"), float)
+        text = overhead_table(report, title="Figure 6 (tiny)")
+        assert "GEOMEAN" in text
+
+    def test_flattening_costs_more_than_substitution(self, tiny_workloads):
+        report = measure_overhead(tiny_workloads, labels=("sub", "fla"))
+        assert report.geomean("fla") >= report.geomean("sub")
+
+
+class TestPrecisionExperiment:
+    def test_measure_precision_matrix(self, tiny_workloads):
+        report = measure_precision(tiny_workloads, labels=("sub", "fufi.all"),
+                                   differs=[BinDiff(), Asm2Vec()])
+        matrix = report.matrix()
+        assert set(matrix) == {"BinDiff", "Asm2Vec"}
+        for tool_row in matrix.values():
+            for value in tool_row.values():
+                assert 0.0 <= value <= 1.0
+        text = matrix_table(matrix, row_title="tool")
+        assert "BinDiff" in text
+
+    def test_khaos_never_easier_to_diff_than_baseline_for_bindiff(self, tiny_workloads):
+        report = measure_precision(tiny_workloads, labels=("sub", "fufi.all"),
+                                   differs=[BinDiff()])
+        assert (report.average("BinDiff", "fufi.all")
+                <= report.average("BinDiff", "sub") + 1e-9)
+
+
+class TestEscapeExperiment:
+    def test_escape_rows_only_for_vulnerable_programs(self, tiny_workloads):
+        report = measure_escape(tiny_workloads, labels=("sub",))
+        assert report.rows == []  # coreutils programs carry no CVEs
+
+    def test_escape_on_embedded_program(self):
+        workload = embedded_programs()[0]
+        report = measure_escape([workload], labels=("fufi.all",),
+                                differs=[Asm2Vec()])
+        assert report.rows
+        ratio = report.escape_ratio("Asm2Vec", "fufi.all", 1)
+        assert 0.0 <= ratio <= 1.0
+        assert report.escape_ratio("Asm2Vec", "fufi.all", 50) <= ratio
+
+
+class TestOtherExperiments:
+    def test_opcode_distance_report(self, tiny_workloads):
+        report = measure_opcode_distance(tiny_workloads[:1],
+                                         labels=("sub", "fufi.all"))
+        per_program = report.distances[tiny_workloads[0].name]
+        assert set(per_program) == {"sub", "fufi.all"}
+        assert max(per_program.values()) == pytest.approx(1.0)
+
+    def test_internals_table(self, tiny_workloads):
+        report = measure_internals({"CoreUtils": tiny_workloads})
+        row = report.rows["CoreUtils"]
+        assert row.fusion_ratio > 0
+        assert row.fission_ratio >= 0
+        table = report.as_table()
+        assert "Fission Ratio" in table["CoreUtils"]
+
+    def test_figure9_structure(self):
+        report = figure9(limit=1, tuner_iterations=1)
+        protections = {row.protection for row in report.rows}
+        assert protections == {"bintuner", "khaos"}
+        assert {row.opt_level for row in report.rows} == {0, 1, 2, 3}
+        for row in report.rows:
+            assert 0.0 <= row.similarity <= 1.0
+
+
+class TestRegistry:
+    def test_registry_covers_every_table_and_figure(self):
+        assert set(experiment_names()) == {
+            "figure6", "figure7", "figure8", "figure9", "figure10", "figure11",
+            "table1", "table2", "table3"}
+        for experiment in EXPERIMENTS.values():
+            assert experiment.description
+
+    def test_run_experiment_table1_and_table3(self):
+        table1 = run_experiment("table1")
+        assert len(table1) == 5
+        table3 = run_experiment("table3")
+        assert len(table3) == 5
+        assert any("CVE-2021-3449" in cve
+                   for vulns in table3.values()
+                   for _, cves in vulns for cve in cves)
+
+    def test_run_experiment_unknown(self):
+        with pytest.raises(KeyError):
+            run_experiment("figure99")
+
+    def test_format_table_renders(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 3]], title="T")
+        assert "T" in text and "2.500" in text

@@ -1,0 +1,129 @@
+"""Tests for the IR type system, compatibility and parameter compression."""
+
+import pytest
+
+from repro.ir import (ArrayType, FloatType, FunctionType, IntType, PointerType,
+                      VoidType, compatible_type, compress_parameter_lists,
+                      F32, F64, I1, I8, I32, I64, VOID)
+
+
+class TestTypeBasics:
+    def test_int_widths(self):
+        for bits in (1, 8, 16, 32, 64):
+            assert IntType(bits).bits == bits
+
+    def test_unsupported_int_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(13)
+
+    def test_unsupported_float_width_rejected(self):
+        with pytest.raises(ValueError):
+            FloatType(16)
+
+    def test_equality_is_structural(self):
+        assert IntType(64) == I64
+        assert PointerType(I32) == PointerType(IntType(32))
+        assert PointerType(I32) != PointerType(I64)
+        assert FunctionType(I64, [I32]) == FunctionType(I64, [I32])
+
+    def test_str_forms(self):
+        assert str(I64) == "i64"
+        assert str(F32) == "f32"
+        assert str(PointerType(I8)) == "i8*"
+        assert str(ArrayType(I64, 4)) == "[4 x i64]"
+        assert str(VOID) == "void"
+        assert "..." in str(FunctionType(VOID, [I64], variadic=True))
+
+    def test_predicates(self):
+        assert I64.is_integer and not I64.is_float
+        assert F64.is_float and not F64.is_pointer
+        assert PointerType(I64).is_pointer
+        assert VOID.is_void
+        assert FunctionType(VOID, []).is_function
+
+    def test_size_in_slots(self):
+        assert I64.size_in_slots() == 1
+        assert VOID.size_in_slots() == 0
+        assert ArrayType(I64, 5).size_in_slots() == 5
+
+
+class TestIntWrapping:
+    def test_wrap_positive_overflow(self):
+        assert IntType(8).wrap(130) == -126
+
+    def test_wrap_negative(self):
+        assert IntType(8).wrap(-129) == 127
+
+    def test_wrap_identity_in_range(self):
+        assert IntType(64).wrap(12345) == 12345
+
+    def test_wrap_i1(self):
+        assert IntType(1).wrap(3) == 1
+        assert IntType(1).wrap(2) == 0
+
+    def test_min_max(self):
+        assert IntType(8).min_value == -128
+        assert IntType(8).max_value == 127
+
+
+class TestCompatibility:
+    def test_identical_types(self):
+        assert compatible_type(I64, I64) == I64
+
+    def test_integer_widening(self):
+        assert compatible_type(I8, I64) == I64
+        assert compatible_type(I64, I32) == I64
+
+    def test_float_widening(self):
+        assert compatible_type(F32, F64) == F64
+
+    def test_void_merges_with_anything(self):
+        assert compatible_type(VOID, I64) == I64
+        assert compatible_type(F64, VOID) == F64
+
+    def test_pointers_merge_to_generic(self):
+        merged = compatible_type(PointerType(I64), PointerType(F64))
+        assert merged == PointerType(I8)
+
+    def test_int_float_incompatible(self):
+        assert compatible_type(I64, F64) is None
+        assert compatible_type(F32, I8) is None
+
+    def test_pointer_int_incompatible(self):
+        assert compatible_type(PointerType(I64), I64) is None
+
+
+class TestParameterCompression:
+    def test_identical_lists_fully_compress(self):
+        merged, a_idx, b_idx = compress_parameter_lists([I64, I64], [I64, I64])
+        assert merged == (I64, I64)
+        assert a_idx == (0, 1)
+        assert b_idx == (0, 1)
+
+    def test_paper_example_short_and_float_vs_int(self):
+        # bar(short a, float b) + foo(int m) -> (int x, float b)
+        merged, a_idx, b_idx = compress_parameter_lists(
+            [IntType(16), F32], [I32])
+        assert merged == (I32, F32)
+        assert a_idx == (0, 1)
+        assert b_idx == (0,)
+
+    def test_incompatible_types_get_fresh_slots(self):
+        merged, a_idx, b_idx = compress_parameter_lists([I64], [F64])
+        assert merged == (I64, F64)
+        assert b_idx == (1,)
+
+    def test_each_slot_claimed_at_most_once(self):
+        merged, a_idx, b_idx = compress_parameter_lists([I64], [I64, I64])
+        assert merged == (I64, I64)
+        assert b_idx == (0, 1)
+
+    def test_empty_lists(self):
+        merged, a_idx, b_idx = compress_parameter_lists([], [])
+        assert merged == ()
+        assert a_idx == ()
+        assert b_idx == ()
+
+    def test_worst_case_is_concatenation(self):
+        merged, _, _ = compress_parameter_lists([I64, I64], [F64, F64])
+        assert len(merged) == 4

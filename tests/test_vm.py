@@ -1,0 +1,184 @@
+"""Tests for the IR interpreter and its cost model."""
+
+import pytest
+
+from repro.ir import (FunctionType, GlobalVariable, IRBuilder, Module,
+                      PointerType, Program, create_function, F64, I64)
+from repro.vm import (CostModel, ExecutionError, Interpreter, StepLimitExceeded,
+                      run_program, REGISTER_ARG_SLOTS)
+
+
+def single_function_program(build_body, return_type=I64, params=(),
+                            name="main"):
+    module = Module("m")
+    f = create_function(module, name, return_type, list(params))
+    build_body(module, f, IRBuilder(f.entry_block))
+    return Program("p", [module])
+
+
+class TestArithmetic:
+    def test_basic_integer_ops(self):
+        def body(module, f, b):
+            value = b.add(b.mul(6, 7), b.sub(10, 4))
+            value = b.xor(value, 5)
+            b.ret(value)
+        assert run_program(single_function_program(body)).exit_value == (48 ^ 5)
+
+    def test_division_semantics_truncate_toward_zero(self):
+        def body(module, f, b):
+            b.ret(b.sdiv(-7, 2))
+        assert run_program(single_function_program(body)).exit_value == -3
+
+    def test_remainder_matches_c_semantics(self):
+        def body(module, f, b):
+            b.ret(b.srem(-7, 2))
+        assert run_program(single_function_program(body)).exit_value == -1
+
+    def test_division_by_zero_yields_zero(self):
+        def body(module, f, b):
+            b.ret(b.sdiv(5, 0))
+        assert run_program(single_function_program(body)).exit_value == 0
+
+    def test_large_value_remainder_is_exact(self):
+        def body(module, f, b):
+            b.ret(b.srem(2 ** 60 + 3, 16))
+        assert run_program(single_function_program(body)).exit_value == (2 ** 60 + 3) % 16
+
+    def test_wrapping_at_64_bits(self):
+        def body(module, f, b):
+            b.ret(b.add(2 ** 63 - 1, 1))
+        assert run_program(single_function_program(body)).exit_value == -(2 ** 63)
+
+    def test_float_ops_and_casts(self):
+        def body(module, f, b):
+            x = b.cast("sitofp", 9, F64)
+            y = b.fdiv(x, 2.0)
+            b.ret(b.cast("fptosi", b.fmul(y, 10.0), I64))
+        assert run_program(single_function_program(body)).exit_value == 45
+
+
+class TestMemoryAndControlFlow:
+    def test_alloca_load_store(self):
+        def body(module, f, b):
+            slot = b.alloca(I64)
+            b.store(11, slot)
+            b.ret(b.load(slot))
+        assert run_program(single_function_program(body)).exit_value == 11
+
+    def test_array_indexing(self):
+        def body(module, f, b):
+            data = b.alloca(I64, count=4)
+            for i in range(4):
+                b.store(i * i, b.gep(data, i))
+            total = b.add(b.load(b.gep(data, 2)), b.load(b.gep(data, 3)))
+            b.ret(total)
+        assert run_program(single_function_program(body)).exit_value == 13
+
+    def test_out_of_bounds_store_raises(self):
+        def body(module, f, b):
+            data = b.alloca(I64, count=2)
+            b.store(1, b.gep(data, 5))
+            b.ret(0)
+        with pytest.raises(ExecutionError):
+            run_program(single_function_program(body))
+
+    def test_global_variable_initialisation(self):
+        module = Module("m")
+        g = GlobalVariable("answer", I64, initializer=42)
+        module.add_global(g)
+        f = create_function(module, "main", I64, [])
+        b = IRBuilder(f.entry_block)
+        b.ret(b.load(g))
+        assert run_program(Program("p", [module])).exit_value == 42
+
+    def test_switch_dispatch(self):
+        def body(module, f, b):
+            from repro.ir import Constant
+            one = f.add_block("one")
+            two = f.add_block("two")
+            default = f.add_block("default")
+            b.switch(b.add(1, 1), default,
+                     [(Constant(I64, 1), one), (Constant(I64, 2), two)])
+            b.position_at_end(one)
+            b.ret(10)
+            b.position_at_end(two)
+            b.ret(20)
+            b.position_at_end(default)
+            b.ret(30)
+        assert run_program(single_function_program(body)).exit_value == 20
+
+    def test_select(self):
+        def body(module, f, b):
+            b.ret(b.select(b.icmp("sgt", 3, 2), 111, 222))
+        assert run_program(single_function_program(body)).exit_value == 111
+
+    def test_step_limit(self, demo_program):
+        with pytest.raises(StepLimitExceeded):
+            Interpreter(demo_program, max_steps=10).run()
+
+
+class TestCallsAndIntrinsics:
+    def test_direct_and_indirect_calls(self, demo_program):
+        result = run_program(demo_program)
+        # classify(-5)=5, classify(0)=0, classify(7)=21, scale=21, mix=10,
+        # select_op(0,2,3)=scale(2,3)=9, select_op(1,2,3)=mix(2,3)=2
+        assert result.output == [5, 0, 21, 21, 10, 9, 2]
+        assert result.exit_value == 0
+
+    def test_putint_and_inputs(self):
+        module = Module("m")
+        putint = module.declare_function("putint", FunctionType(I64, [I64]))
+        input_i64 = module.declare_function("input_i64", FunctionType(I64, [I64]))
+        f = create_function(module, "main", I64, [])
+        b = IRBuilder(f.entry_block)
+        b.call(putint, [b.call(input_i64, [0])])
+        b.call(putint, [b.call(input_i64, [99])])
+        b.ret(0)
+        result = run_program(Program("p", [module]), inputs=[17])
+        assert result.output == [17, 0]
+
+    def test_tag_intrinsics_round_trip(self, demo_module):
+        module = demo_module
+        scale = module.get_function("scale")
+        pointer = PointerType(FunctionType(I64, [], variadic=True))
+        tag_ptr = module.declare_function("__khaos_tag_ptr",
+                                          FunctionType(pointer, [pointer, I64]))
+        extract = module.declare_function("__khaos_extract_tag",
+                                          FunctionType(I64, [pointer]))
+        f = create_function(module, "tagcheck", I64, [])
+        b = IRBuilder(f.entry_block)
+        tagged = b.call(tag_ptr, [scale, 3])
+        b.ret(b.call(extract, [tagged]))
+        program = Program("p", [module], entry="tagcheck")
+        assert run_program(program).exit_value == 3
+
+    def test_unknown_external_returns_zero(self):
+        module = Module("m")
+        mystery = module.declare_function("mystery", FunctionType(I64, [I64]))
+        f = create_function(module, "main", I64, [])
+        b = IRBuilder(f.entry_block)
+        b.ret(b.call(mystery, [1]))
+        assert run_program(Program("p", [module])).exit_value == 0
+
+    def test_missing_entry_raises(self):
+        module = Module("m")
+        with pytest.raises(ExecutionError):
+            run_program(Program("p", [module]))
+
+
+class TestCostModel:
+    def test_stack_arguments_cost_more(self):
+        model = CostModel()
+        few = model.call_cost(REGISTER_ARG_SLOTS)
+        many = model.call_cost(REGISTER_ARG_SLOTS + 2)
+        assert many > few
+        assert many - few == 2 * model.call_stack_arg
+
+    def test_indirect_call_costs_more(self):
+        model = CostModel()
+        assert model.call_cost(2, indirect=True) > model.call_cost(2)
+
+    def test_execution_accumulates_cycles(self, demo_program):
+        result = run_program(demo_program)
+        assert result.cycles > result.instructions_executed > 0
+        assert result.call_count > 5

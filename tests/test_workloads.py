@@ -1,0 +1,125 @@
+"""Tests for the kernel library, the synthesiser and the named suites."""
+
+import pytest
+
+from repro.ir import assert_valid
+from repro.vm import run_program
+from repro.workloads import (COREUTILS_8_32, EMBEDDED_VULNERABILITIES,
+                             SPEC_CPU_2006, SPEC_CPU_2017, ProgramProfile,
+                             build_kernel, coreutils_programs,
+                             embedded_programs, find_program, kernel_names,
+                             load_suite, spec2006_programs, spec2017_programs,
+                             suite_names, synthesize_program)
+import random
+
+from repro.ir import Module
+
+
+class TestKernels:
+    @pytest.mark.parametrize("kind", kernel_names())
+    def test_kernel_builds_and_runs(self, kind):
+        module = Module("m")
+        rng = random.Random(7)
+        function = build_kernel(kind, module, f"{kind}_under_test", rng)
+        assert_valid(function)
+        assert function.block_count() >= 1
+
+    def test_kernel_library_is_reasonably_large(self):
+        assert len(kernel_names()) >= 15
+
+    def test_kernels_are_deterministic_for_same_seed(self):
+        first = build_kernel("checksum", Module("a"), "k", random.Random(3))
+        second = build_kernel("checksum", Module("b"), "k", random.Random(3))
+        assert ([i.opcode for i in first.instructions()]
+                == [i.opcode for i in second.instructions()])
+
+
+class TestSynthesiser:
+    def test_program_is_valid_and_runs(self):
+        profile = ProgramProfile(name="unit", suite="test", seed=5,
+                                 kernel_count=6, driver_count=2, iterations=2)
+        program = synthesize_program(profile)
+        assert_valid(program)
+        result = run_program(program)
+        assert result.output  # main prints observable values
+
+    def test_two_module_layout(self):
+        profile = ProgramProfile(name="unit2", suite="test", seed=5)
+        program = synthesize_program(profile)
+        assert len(program.modules) == 2
+
+    def test_synthesis_is_deterministic(self):
+        profile = ProgramProfile(name="same", suite="test", seed=9)
+        first = run_program(synthesize_program(profile))
+        second = run_program(synthesize_program(profile))
+        assert first.observable() == second.observable()
+
+    def test_special_kernels_included(self):
+        profile = ProgramProfile(name="unit3", suite="test", seed=1)
+        program = synthesize_program(profile)
+        names = {f.name for f in program.defined_functions()}
+        assert "setjmp_guard_fn" in names
+        assert "eh_pair_fn" in names
+
+    def test_dispatcher_uses_indirect_calls(self):
+        from repro.ir import Call
+        profile = ProgramProfile(name="unit4", suite="test", seed=2)
+        program = synthesize_program(profile)
+        dispatcher = program.find_function("dispatch_op")
+        assert dispatcher is not None
+        assert any(isinstance(i, Call) and not i.is_direct
+                   for i in dispatcher.instructions())
+
+
+class TestSuites:
+    def test_suite_sizes_match_the_paper(self):
+        assert len(SPEC_CPU_2006) == 19
+        assert len(SPEC_CPU_2017) == 28
+        assert len(COREUTILS_8_32) == 108
+        assert len(EMBEDDED_VULNERABILITIES) == 5
+
+    def test_suite_loaders(self):
+        assert len(spec2006_programs()) == 19
+        assert len(spec2017_programs()) == 28
+        assert len(coreutils_programs()) == 108
+        assert len(embedded_programs()) == 5
+        assert set(suite_names()) == {"spec2006", "spec2017", "coreutils",
+                                      "embedded"}
+
+    def test_load_suite_aliases(self):
+        assert len(load_suite("t1")) == 47
+        assert len(load_suite("t2")) == 108
+        assert len(load_suite("t3")) == 5
+        with pytest.raises(KeyError):
+            load_suite("spec2049")
+
+    def test_find_program(self):
+        assert find_program("401.bzip2").suite == "spec2006"
+        assert find_program("ls").suite == "coreutils"
+        with pytest.raises(KeyError):
+            find_program("not-a-program")
+
+    def test_table3_vulnerable_functions_present(self):
+        total_functions = 0
+        total_cves = set()
+        for workload in embedded_programs():
+            program = workload.build()
+            for name in workload.vulnerable_functions:
+                function = program.find_function(name)
+                assert function is not None, name
+                assert function.attributes.get("vulnerable")
+                total_functions += 1
+                total_cves.update(function.attributes["cve"])
+        # Table 3: 14 functions, 19 CVEs
+        assert total_functions == 14
+        assert len(total_cves) == 19
+
+    def test_spec_programs_are_larger_than_coreutils(self):
+        spec = find_program("403.gcc").build()
+        core = find_program("true").build()
+        assert len(spec.defined_functions()) > len(core.defined_functions())
+
+    def test_workload_builds_are_deterministic(self):
+        first = run_program(find_program("429.mcf").build())
+        second = run_program(find_program("429.mcf").build())
+        assert first.observable() == second.observable()
