@@ -1,0 +1,7 @@
+"""Benchmark harness package.
+
+The package marker lets ``benchmarks/test_*.py`` use ``from .conftest import
+...`` when collected from the repository root (``python -m pytest``), which
+previously failed with "attempted relative import with no known parent
+package".
+"""

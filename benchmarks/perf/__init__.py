@@ -1,0 +1,1 @@
+"""Performance micro-benchmarks (not pytest tests — see run_bench.py)."""

@@ -1,0 +1,186 @@
+"""Performance micro-benchmarks for the obfuscate→execute→measure loop.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/perf/run_bench.py [--quick] [--out PATH]
+
+or via ``scripts/bench.sh``.  Writes ``BENCH_results.json`` so subsequent PRs
+can diff the perf trajectory.  Three metrics are tracked:
+
+* **vm** — steps/second of the interpreter on the Figure-6 workloads,
+  compiled dispatch vs. the legacy ``isinstance``-ladder path (kept in-tree
+  as the reference semantics);
+* **fig6_measure_loop** — the overhead-*measurement* loop of Figures 6/7:
+  executing every built variant in the VM to collect dynamic cycle counts,
+  compiled vs. legacy dispatch;
+* **fig6_end_to_end** — the same loop including the build phases
+  (obfuscate, optimize, lower), which exercises the AnalysisManager caching;
+* **pipeline** — wall time of the build phases alone.
+
+All workloads are deterministic (profile-seeded), so the only
+run-to-run variance is machine noise; every timing is a best-of-``reps``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, List
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+from repro.evaluation.overhead import measure_overhead  # noqa: E402
+from repro.opt.pipelines import optimize_program        # noqa: E402
+from repro.backend.lowering import lower_program        # noqa: E402
+from repro.core.obfuscator import obfuscate             # noqa: E402
+from repro.vm.machine import run_program                # noqa: E402
+from repro.workloads.suites import (spec2006_programs,  # noqa: E402
+                                    spec2017_programs)
+
+MEASURE_LABELS = ("fission", "fufi.ori")
+
+
+def best_of(fn: Callable[[], object], reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        gc.collect()
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_vm(programs, reps: int) -> Dict[str, object]:
+    built = [wp.build() for wp in programs]
+    # verify both dispatchers agree before timing anything
+    steps = 0
+    for program in built:
+        legacy = run_program(program, compiled=False)
+        fast = run_program(program, compiled=True)
+        assert legacy.observable() == fast.observable()
+        assert legacy.cycles == fast.cycles and legacy.steps == fast.steps
+        steps += legacy.steps
+
+    legacy_s = best_of(
+        lambda: [run_program(p, compiled=False) for p in built], reps)
+    compiled_s = best_of(
+        lambda: [run_program(p, compiled=True) for p in built], reps)
+    return {
+        "programs": [wp.name for wp in programs],
+        "steps": steps,
+        "legacy_s": round(legacy_s, 4),
+        "compiled_s": round(compiled_s, 4),
+        "steps_per_sec_legacy": int(steps / legacy_s),
+        "steps_per_sec_compiled": int(steps / compiled_s),
+        "speedup": round(legacy_s / compiled_s, 2),
+    }
+
+
+def _build_variants(programs) -> List:
+    """The build phase of the fig6/fig7 loop: every variant of every program."""
+    variants = []
+    for wp in programs:
+        baseline = optimize_program(wp.build())
+        lower_program(baseline)
+        variants.append(baseline)
+        for label in MEASURE_LABELS:
+            result = obfuscate(wp.build(), mode=label)
+            optimized = optimize_program(result.program)
+            lower_program(optimized)
+            variants.append(optimized)
+    return variants
+
+
+def bench_fig6_measure_loop(programs, reps: int) -> Dict[str, object]:
+    variants = _build_variants(programs)
+    legacy_s = best_of(
+        lambda: [run_program(v, compiled=False) for v in variants], reps)
+    compiled_s = best_of(
+        lambda: [run_program(v, compiled=True) for v in variants], reps)
+    return {
+        "programs": [wp.name for wp in programs],
+        "labels": list(MEASURE_LABELS),
+        "variants": len(variants),
+        "legacy_s": round(legacy_s, 4),
+        "compiled_s": round(compiled_s, 4),
+        "speedup": round(legacy_s / compiled_s, 2),
+    }
+
+
+def bench_fig6_end_to_end(programs, reps: int) -> Dict[str, object]:
+    def loop(dispatch: str):
+        os.environ["REPRO_VM_DISPATCH"] = dispatch
+        try:
+            measure_overhead(programs, labels=MEASURE_LABELS)
+        finally:
+            os.environ.pop("REPRO_VM_DISPATCH", None)
+
+    legacy_s = best_of(lambda: loop("legacy"), reps)
+    compiled_s = best_of(lambda: loop("compiled"), reps)
+    return {
+        "programs": [wp.name for wp in programs],
+        "labels": list(MEASURE_LABELS),
+        "legacy_s": round(legacy_s, 4),
+        "compiled_s": round(compiled_s, 4),
+        "speedup": round(legacy_s / compiled_s, 2),
+    }
+
+
+def bench_pipeline(programs, reps: int) -> Dict[str, object]:
+    wall = best_of(lambda: _build_variants(programs), reps)
+    return {
+        "programs": [wp.name for wp in programs],
+        "labels": list(MEASURE_LABELS),
+        "obfuscate_optimize_lower_s": round(wall, 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer programs and reps (smoke run)")
+    parser.add_argument("--out", default="BENCH_results.json",
+                        help="output path (default: BENCH_results.json)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        vm_programs = spec2006_programs()[:2]
+        loop_programs = spec2006_programs()[:1]
+        reps = 2
+    else:
+        vm_programs = spec2006_programs()[:4] + spec2017_programs()[:2]
+        loop_programs = spec2006_programs()[:3]
+        reps = 5
+
+    results = {
+        "schema": 1,
+        "config": {"quick": bool(args.quick), "reps": reps,
+                   "python": sys.version.split()[0]},
+        "vm": bench_vm(vm_programs, reps),
+        "fig6_measure_loop": bench_fig6_measure_loop(loop_programs, reps),
+        "fig6_end_to_end": bench_fig6_end_to_end(loop_programs,
+                                                 max(2, reps // 2)),
+        "pipeline": bench_pipeline(loop_programs, max(2, reps // 2)),
+    }
+
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print(f"vm:                {results['vm']['speedup']}x "
+          f"({results['vm']['steps_per_sec_compiled']:,} steps/s compiled, "
+          f"{results['vm']['steps_per_sec_legacy']:,} legacy)")
+    print(f"fig6 measure loop: {results['fig6_measure_loop']['speedup']}x")
+    print(f"fig6 end to end:   {results['fig6_end_to_end']['speedup']}x")
+    print(f"pipeline build:    "
+          f"{results['pipeline']['obfuscate_optimize_lower_s']}s")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

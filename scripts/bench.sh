@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Run the perf micro-benchmark suite and write BENCH_results.json at the repo
+# root, so subsequent PRs can diff the numbers.  Workload generation is
+# profile-seeded (fixed seeds); pass --quick for a fast smoke run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} exec python benchmarks/perf/run_bench.py "$@"

@@ -7,6 +7,8 @@ from .loops import Loop, LoopInfo, DEFAULT_TRIP_COUNT
 from .block_frequency import BlockFrequency
 from .defuse import DefUse, allocas_only_used_in, region_inputs, region_outputs
 from .callgraph import CallGraph, program_call_graph
+from .manager import (ANALYSIS_NAMES, AnalysisManager, PRESERVE_ALL,
+                      StaleAnalysisError)
 from .memory_effects import (count_innocuous_blocks, innocuous_blocks,
                              is_innocuous_block, is_innocuous_instruction,
                              trace_pointer_base)
@@ -15,6 +17,7 @@ __all__ = [
     "ControlFlowGraph", "DominatorTree", "Loop", "LoopInfo",
     "DEFAULT_TRIP_COUNT", "BlockFrequency", "DefUse", "allocas_only_used_in",
     "region_inputs", "region_outputs", "CallGraph", "program_call_graph",
+    "ANALYSIS_NAMES", "AnalysisManager", "PRESERVE_ALL", "StaleAnalysisError",
     "count_innocuous_blocks", "innocuous_blocks", "is_innocuous_block",
     "is_innocuous_instruction", "trace_pointer_base",
 ]

@@ -32,7 +32,7 @@ class BlockFrequency:
         # post-order; back edges are ignored and replaced by multiplying each
         # block by trip_count ** loop_depth afterwards.
         rpo = self.cfg.reverse_post_order()
-        order_index = {id(b): i for i, b in enumerate(rpo)}
+        order_index = {b: i for i, b in enumerate(rpo)}
         freq: Dict[BasicBlock, float] = {b: 0.0 for b in rpo}
         freq[self.cfg.entry] = 1.0
 
@@ -40,7 +40,7 @@ class BlockFrequency:
             out = freq[block]
             succs = self.cfg.successors.get(block, [])
             forward = [s for s in succs
-                       if order_index.get(id(s), -1) > order_index[id(block)]]
+                       if order_index.get(s, -1) > order_index[block]]
             if not forward:
                 continue
             share = out / len(succs) if succs else 0.0

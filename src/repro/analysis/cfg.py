@@ -28,37 +28,37 @@ class ControlFlowGraph:
 
     def reachable_blocks(self) -> List[BasicBlock]:
         """Blocks reachable from the entry, in depth-first preorder."""
-        seen: Set[int] = set()
+        seen: Set[BasicBlock] = set()
         order: List[BasicBlock] = []
         stack = [self.entry]
         while stack:
             block = stack.pop()
-            if id(block) in seen:
+            if block in seen:
                 continue
-            seen.add(id(block))
+            seen.add(block)
             order.append(block)
             for succ in reversed(self.successors.get(block, [])):
-                if id(succ) not in seen:
+                if succ not in seen:
                     stack.append(succ)
         return order
 
     def unreachable_blocks(self) -> List[BasicBlock]:
-        reachable = {id(b) for b in self.reachable_blocks()}
-        return [b for b in self.function.blocks if id(b) not in reachable]
+        reachable = set(self.reachable_blocks())
+        return [b for b in self.function.blocks if b not in reachable]
 
     def reverse_post_order(self) -> List[BasicBlock]:
-        seen: Set[int] = set()
+        seen: Set[BasicBlock] = set()
         post: List[BasicBlock] = []
 
         def visit(block: BasicBlock) -> None:
             stack = [(block, iter(self.successors.get(block, [])))]
-            seen.add(id(block))
+            seen.add(block)
             while stack:
                 current, it = stack[-1]
                 advanced = False
                 for succ in it:
-                    if id(succ) not in seen:
-                        seen.add(id(succ))
+                    if succ not in seen:
+                        seen.add(succ)
                         stack.append((succ, iter(self.successors.get(succ, []))))
                         advanced = True
                         break

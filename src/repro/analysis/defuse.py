@@ -89,21 +89,25 @@ def region_outputs(function: Function, region: Iterable[BasicBlock]) -> List[Ins
 
 
 def allocas_only_used_in(function: Function,
-                         region: Iterable[BasicBlock]) -> List[Alloca]:
+                         region: Iterable[BasicBlock],
+                         defuse: "DefUse" = None) -> List[Alloca]:
     """Entry-block allocas whose every use lies inside ``region``.
 
     These are the locals that the fission's lazy-allocation optimisation can
-    move into the sepFunc instead of passing a pointer parameter.
+    move into the sepFunc instead of passing a pointer parameter.  Pass a
+    cached ``defuse`` (e.g. from an
+    :class:`~repro.analysis.manager.AnalysisManager`) to avoid recomputing it.
     """
-    region_blocks = {id(b) for b in region}
-    defuse = DefUse(function)
+    region_blocks = set(region)
+    if defuse is None:
+        defuse = DefUse(function)
     result: List[Alloca] = []
     for inst in function.entry_block.instructions:
         if not isinstance(inst, Alloca):
             continue
-        if id(inst.parent) in region_blocks:
+        if inst.parent in region_blocks:
             continue
         uses = defuse.uses_of(inst)
-        if uses and all(id(u.parent) in region_blocks for u in uses):
+        if uses and all(u.parent in region_blocks for u in uses):
             result.append(inst)
     return result

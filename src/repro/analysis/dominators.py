@@ -26,17 +26,17 @@ class DominatorTree:
 
     def _compute(self) -> None:
         rpo = self.cfg.reverse_post_order()
-        index = {id(b): i for i, b in enumerate(rpo)}
+        index = {b: i for i, b in enumerate(rpo)}
         entry = self.cfg.entry
-        idom: Dict[int, BasicBlock] = {id(entry): entry}
+        idom: Dict[BasicBlock, BasicBlock] = {entry: entry}
 
         def intersect(b1: BasicBlock, b2: BasicBlock) -> BasicBlock:
             finger1, finger2 = b1, b2
             while finger1 is not finger2:
-                while index[id(finger1)] > index[id(finger2)]:
-                    finger1 = idom[id(finger1)]
-                while index[id(finger2)] > index[id(finger1)]:
-                    finger2 = idom[id(finger2)]
+                while index[finger1] > index[finger2]:
+                    finger1 = idom[finger1]
+                while index[finger2] > index[finger1]:
+                    finger2 = idom[finger2]
             return finger1
 
         changed = True
@@ -46,15 +46,15 @@ class DominatorTree:
                 if block is entry:
                     continue
                 preds = [p for p in self.cfg.predecessors.get(block, [])
-                         if id(p) in index]
-                processed = [p for p in preds if id(p) in idom]
+                         if p in index]
+                processed = [p for p in preds if p in idom]
                 if not processed:
                     continue
                 new_idom = processed[0]
                 for p in processed[1:]:
                     new_idom = intersect(p, new_idom)
-                if idom.get(id(block)) is not new_idom:
-                    idom[id(block)] = new_idom
+                if idom.get(block) is not new_idom:
+                    idom[block] = new_idom
                     changed = True
 
         self.idom = {}
@@ -63,7 +63,7 @@ class DominatorTree:
             if block is entry:
                 self.idom[block] = None
                 continue
-            dominator = idom.get(id(block))
+            dominator = idom.get(block)
             self.idom[block] = dominator
             if dominator is not None:
                 self.children.setdefault(dominator, []).append(block)

@@ -34,7 +34,7 @@ class BogusControlFlow(ModulePass):
         self.ratio = ratio
         self.seed = seed
 
-    def run_on_module(self, module: Module) -> bool:
+    def run_on_module(self, module: Module, analyses=None) -> bool:
         opaque = module.get_global(OPAQUE_GLOBAL_NAME)
         if opaque is None:
             opaque = GlobalVariable(OPAQUE_GLOBAL_NAME, I64, initializer=7)

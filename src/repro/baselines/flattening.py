@@ -35,7 +35,7 @@ class ControlFlowFlattening(ModulePass):
         self.ratio = ratio
         self.seed = seed
 
-    def run_on_module(self, module: Module) -> bool:
+    def run_on_module(self, module: Module, analyses=None) -> bool:
         rng = random.Random(self.seed)
         eligible = [f for f in module.defined_functions()
                     if f.block_count() >= 3

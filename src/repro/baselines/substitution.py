@@ -80,12 +80,14 @@ class InstructionSubstitution(FunctionPass):
     """The *Sub* baseline; ``ratio`` controls how many eligible sites change."""
 
     name = "ollvm-sub"
+    # rewrites instructions within blocks; the block graph is untouched
+    preserves = ("cfg", "domtree", "loops", "block_frequency")
 
     def __init__(self, ratio: float = 1.0, seed: int = 1):
         self.ratio = ratio
         self.seed = seed
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function, analyses=None) -> bool:
         rng = random.Random(stable_hash(self.seed, function.name))
         changed = False
         for block in function.blocks:

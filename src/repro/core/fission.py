@@ -18,7 +18,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..analysis.defuse import DefUse, region_inputs, region_outputs
+from ..analysis.defuse import region_inputs, region_outputs
+from ..analysis.manager import AnalysisManager
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function, Linkage
 from ..ir.instructions import (Alloca, Branch, Call, CondBranch, Instruction,
@@ -37,10 +38,12 @@ class Fission:
 
     def __init__(self, config: Optional[FissionConfig] = None,
                  provenance: Optional[ProvenanceMap] = None,
-                 stats: Optional[FissionStats] = None):
+                 stats: Optional[FissionStats] = None,
+                 analyses: Optional[AnalysisManager] = None):
         self.config = config or FissionConfig()
         self.provenance = provenance if provenance is not None else ProvenanceMap()
         self.stats = stats if stats is not None else FissionStats()
+        self.analyses = analyses if analyses is not None else AnalysisManager()
 
     # -- module driver ------------------------------------------------------------
 
@@ -53,6 +56,10 @@ class Fission:
                 continue
             new_funcs = self.run_on_function(module, function)
             created.extend(new_funcs)
+        if created:
+            # new sepFuncs and rewritten call sites invalidate any cached
+            # call graph of this module
+            self.analyses.invalidate_module(module)
         return created
 
     def run_on_function(self, module: Module, function: Function) -> List[Function]:
@@ -61,7 +68,8 @@ class Fission:
         if function.block_count() < self.config.min_function_blocks:
             return []
 
-        identifier = RegionIdentifier(function, self.config)
+        identifier = RegionIdentifier(function, self.config,
+                                      analyses=self.analyses)
         regions = identifier.identify()
         if not regions:
             return []
@@ -74,6 +82,7 @@ class Fission:
             if any(block.parent is not function for block in region.blocks):
                 continue
             sepfunc = self._extract_region(module, function, region, index)
+            self.analyses.invalidate(function)
             if sepfunc is None:
                 continue
             created.append(sepfunc)
@@ -95,7 +104,7 @@ class Fission:
     def _extract_region(self, module: Module, function: Function,
                         region: Region, index: int) -> Optional[Function]:
         region_blocks = list(region.blocks)
-        region_ids = {id(b) for b in region_blocks}
+        region_ids = set(region_blocks)
 
         inputs = region_inputs(region_blocks)
         lazy_allocas: List[Alloca] = []
@@ -163,11 +172,11 @@ class Fission:
         ret_out_param = sepfunc.args[-1] if need_ret_out else None
 
         # -- control flow inside the sepFunc: exits return their code ---------------
-        exit_stubs: Dict[int, BasicBlock] = {}
+        exit_stubs: Dict[BasicBlock, BasicBlock] = {}
         for code, target in enumerate(exit_targets):
             stub = sepfunc.add_block(f"exit.{code}")
             stub.append(Ret(Constant(I64, code)))
-            exit_stubs[id(target)] = stub
+            exit_stubs[target] = stub
 
         for block in ordered:
             term = block.terminator
@@ -198,16 +207,15 @@ class Fission:
             name = f"{base}.{counter}"
         return name
 
-    @staticmethod
-    def _lazy_allocas(function: Function, region_ids: set,
+    def _lazy_allocas(self, function: Function, region_ids: set,
                       inputs: Sequence[Value]) -> List[Alloca]:
-        defuse = DefUse(function)
+        defuse = self.analyses.defuse(function)
         lazy: List[Alloca] = []
         for value in inputs:
             if not isinstance(value, Alloca):
                 continue
             uses = defuse.uses_of(value)
-            if uses and all(id(u.parent) in region_ids for u in uses):
+            if uses and all(u.parent in region_ids for u in uses):
                 lazy.append(value)
         return lazy
 
@@ -218,29 +226,29 @@ class Fission:
         seen = set()
         for block in region_blocks:
             for succ in block.successors():
-                if id(succ) in region_ids:
+                if succ in region_ids:
                     continue
-                if id(succ) not in seen:
-                    seen.add(id(succ))
+                if succ not in seen:
+                    seen.add(succ)
                     targets.append(succ)
         return targets
 
     @staticmethod
     def _retarget_outside(term: Instruction, region_ids: set,
-                          exit_stubs: Dict[int, BasicBlock]) -> None:
+                          exit_stubs: Dict[BasicBlock, BasicBlock]) -> None:
         if isinstance(term, Branch):
-            if id(term.target) not in region_ids:
-                term.target = exit_stubs[id(term.target)]
+            if term.target not in region_ids:
+                term.target = exit_stubs[term.target]
         elif isinstance(term, CondBranch):
-            if id(term.true_target) not in region_ids:
-                term.true_target = exit_stubs[id(term.true_target)]
-            if id(term.false_target) not in region_ids:
-                term.false_target = exit_stubs[id(term.false_target)]
+            if term.true_target not in region_ids:
+                term.true_target = exit_stubs[term.true_target]
+            if term.false_target not in region_ids:
+                term.false_target = exit_stubs[term.false_target]
         elif isinstance(term, Switch):
-            if id(term.default_target) not in region_ids:
-                term.default_target = exit_stubs[id(term.default_target)]
+            if term.default_target not in region_ids:
+                term.default_target = exit_stubs[term.default_target]
             term.cases = [
-                (c, exit_stubs[id(t)] if id(t) not in region_ids else t)
+                (c, exit_stubs[t] if t not in region_ids else t)
                 for c, t in term.cases]
 
     def _build_call_site(self, function: Function, sepfunc: Function,

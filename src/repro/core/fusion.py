@@ -21,6 +21,7 @@ import random
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..analysis.callgraph import CallGraph
+from ..analysis.manager import AnalysisManager
 from ..analysis.memory_effects import is_innocuous_block
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function, Linkage
@@ -60,18 +61,23 @@ class Fusion:
 
     def __init__(self, config: Optional[FusionConfig] = None,
                  provenance: Optional[ProvenanceMap] = None,
-                 stats: Optional[FusionStats] = None, seed: int = 0x5EED):
+                 stats: Optional[FusionStats] = None, seed: int = 0x5EED,
+                 analyses: Optional[AnalysisManager] = None):
         self.config = config or FusionConfig()
         self.provenance = provenance if provenance is not None else ProvenanceMap()
         self.stats = stats if stats is not None else FusionStats()
         self.seed = seed
+        self.analyses = analyses if analyses is not None else AnalysisManager()
         self._counter = 0
 
     # -- module driver ------------------------------------------------------------
 
     def run_on_module(self, module: Module, entry: str = "main",
                       candidate_filter=None) -> List[Function]:
-        callgraph = CallGraph(module)
+        # One call-graph snapshot drives pairing, tagged-pointer rewriting and
+        # trampoline creation (matching the original single-construction
+        # semantics); every mutation below invalidates it at the end.
+        callgraph = self.analyses.callgraph(module)
         candidates = self._collect_candidates(module, entry, candidate_filter)
         self.stats.candidate_functions += len(candidates)
 
@@ -102,6 +108,8 @@ class Fusion:
                 if module.get_function(original.name) is original:
                     module.remove_function(original.name)
                     self.provenance.record_removed(original.name)
+        if created:
+            self.analyses.invalidate_module(module)
         return created
 
     # -- candidate selection ------------------------------------------------------

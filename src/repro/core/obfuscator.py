@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from ..analysis.manager import AnalysisManager
 from ..ir.function import Function
 from ..ir.module import Program
 from ..ir.verifier import assert_valid
@@ -66,13 +67,15 @@ class Khaos:
         provenance = ProvenanceMap(original_names)
         stats = KhaosStats()
 
+        analyses = AnalysisManager()
         if self.config.runs_fission:
-            fission = Fission(self.config.fission, provenance, stats.fission)
+            fission = Fission(self.config.fission, provenance, stats.fission,
+                              analyses=analyses)
             fission.run_on_module(module, entry=working.entry)
 
         if self.config.runs_fusion:
             fusion = Fusion(self.config.fusion, provenance, stats.fusion,
-                            seed=self.config.seed)
+                            seed=self.config.seed, analyses=analyses)
             fusion.run_on_module(module, entry=working.entry,
                                  candidate_filter=_fusion_filter_for(self.config.mode))
 

@@ -23,10 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
-from ..analysis.block_frequency import BlockFrequency
 from ..analysis.cfg import ControlFlowGraph
-from ..analysis.dominators import DominatorTree
-from ..analysis.loops import LoopInfo
+from ..analysis.manager import AnalysisManager
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import Alloca, Call, Instruction, Ret
@@ -47,8 +45,8 @@ class Region:
         return self.effect / self.cost if self.cost > 0 else float("inf")
 
     @property
-    def block_set(self) -> Set[int]:
-        return {id(b) for b in self.blocks}
+    def block_set(self) -> Set[BasicBlock]:
+        return set(self.blocks)
 
     def intersects(self, other: "Region") -> bool:
         return bool(self.block_set & other.block_set)
@@ -69,31 +67,31 @@ def _contains_setjmp(blocks: Sequence[BasicBlock]) -> bool:
 
 
 def _single_entry(function: Function, cfg: ControlFlowGraph,
-                  region_blocks: Set[int], head: BasicBlock) -> bool:
+                  region_blocks: Set[BasicBlock], head: BasicBlock) -> bool:
     for block in function.blocks:
-        if id(block) not in region_blocks:
+        if block not in region_blocks:
             continue
         if block is head:
             continue
         for pred in cfg.predecessors.get(block, []):
-            if id(pred) not in region_blocks:
+            if pred not in region_blocks:
                 return False
     return True
 
 
-def _eh_consistent(function: Function, region_blocks: Set[int]) -> bool:
+def _eh_consistent(function: Function, region_blocks: Set[BasicBlock]) -> bool:
     """Keep try/catch pairs on the same side of the cut (section 3.2.4)."""
-    names_inside = {b.name for b in function.blocks if id(b) in region_blocks}
+    names_inside = {b.name for b in function.blocks if b in region_blocks}
     for thrower, handler in function.eh_pairs:
         if (thrower in names_inside) != (handler in names_inside):
             return False
     return True
 
 
-def _allocas_escape(function: Function, region_blocks: Set[int]) -> bool:
+def _allocas_escape(function: Function, region_blocks: Set[BasicBlock]) -> bool:
     inside_allocas = set()
     for block in function.blocks:
-        if id(block) not in region_blocks:
+        if block not in region_blocks:
             continue
         for inst in block.instructions:
             if isinstance(inst, Alloca):
@@ -101,7 +99,7 @@ def _allocas_escape(function: Function, region_blocks: Set[int]) -> bool:
     if not inside_allocas:
         return False
     for block in function.blocks:
-        if id(block) in region_blocks:
+        if block in region_blocks:
             continue
         for inst in block.instructions:
             for op in inst.operands:
@@ -113,13 +111,15 @@ def _allocas_escape(function: Function, region_blocks: Set[int]) -> bool:
 class RegionIdentifier:
     """Implements Algorithm 1 plus the structural validity checks."""
 
-    def __init__(self, function: Function, config: Optional[FissionConfig] = None):
+    def __init__(self, function: Function, config: Optional[FissionConfig] = None,
+                 analyses: Optional[AnalysisManager] = None):
         self.function = function
         self.config = config or FissionConfig()
-        self.cfg = ControlFlowGraph(function)
-        self.domtree = DominatorTree(function, self.cfg)
-        self.loops = LoopInfo(function, self.cfg, self.domtree)
-        self.frequency = BlockFrequency(function, self.cfg, self.loops)
+        self.analyses = analyses if analyses is not None else AnalysisManager()
+        self.cfg = self.analyses.cfg(function)
+        self.domtree = self.analyses.domtree(function)
+        self.loops = self.analyses.loops(function)
+        self.frequency = self.analyses.block_frequency(function)
 
     # -- candidate generation -----------------------------------------------------
 
@@ -134,7 +134,7 @@ class RegionIdentifier:
                 continue
             if len(blocks) >= self.function.block_count():
                 continue
-            region_ids = {id(b) for b in blocks}
+            region_ids = set(blocks)
             if not self._is_valid(head, blocks, region_ids):
                 continue
             effect = float(len(blocks))
@@ -146,7 +146,7 @@ class RegionIdentifier:
         return candidates
 
     def _is_valid(self, head: BasicBlock, blocks: List[BasicBlock],
-                  region_ids: Set[int]) -> bool:
+                  region_ids: Set[BasicBlock]) -> bool:
         if _contains_setjmp(blocks):
             return False
         if not _single_entry(self.function, self.cfg, region_ids, head):

@@ -13,7 +13,15 @@ class BasicBlock:
     Blocks are identified by name within their parent function.  Successor
     edges are derived from the terminator; predecessor edges are computed on
     demand by :meth:`repro.ir.function.Function.predecessors`.
+
+    Blocks hash and compare by identity (the inherited ``object`` semantics,
+    stated here explicitly): analyses key their dicts and sets by the block
+    object itself, never by ``id(block)``.
     """
+
+    __slots__ = ("name", "parent", "instructions")
+
+    __hash__ = object.__hash__
 
     def __init__(self, name: str, parent=None):
         self.name = name

@@ -36,6 +36,8 @@ CAST_KINDS = ("trunc", "zext", "sext", "fptosi", "sitofp", "bitcast",
 class Instruction(Value):
     """Base class of all instructions."""
 
+    __slots__ = ("operands", "parent")
+
     opcode = "instruction"
     is_terminator = False
 
@@ -82,6 +84,8 @@ class Instruction(Value):
 
 
 class BinaryOp(Instruction):
+
+    __slots__ = ("op",)
     opcode = "binop"
 
     def __init__(self, op: str, lhs: Value, rhs: Value, name: str = ""):
@@ -103,6 +107,8 @@ class BinaryOp(Instruction):
 
 
 class Compare(Instruction):
+
+    __slots__ = ("predicate",)
     opcode = "cmp"
 
     def __init__(self, predicate: str, lhs: Value, rhs: Value, name: str = ""):
@@ -126,6 +132,8 @@ class Compare(Instruction):
 class Alloca(Instruction):
     """Allocate ``count`` elements of ``allocated_type`` in the current frame."""
 
+    __slots__ = ("allocated_type", "count")
+
     opcode = "alloca"
 
     def __init__(self, allocated_type: Type, count: int = 1, name: str = ""):
@@ -138,6 +146,8 @@ class Alloca(Instruction):
 
 
 class Load(Instruction):
+
+    __slots__ = ()
     opcode = "load"
 
     def __init__(self, pointer: Value, name: str = ""):
@@ -154,6 +164,8 @@ class Load(Instruction):
 
 
 class Store(Instruction):
+
+    __slots__ = ()
     opcode = "store"
 
     def __init__(self, value: Value, pointer: Value):
@@ -175,6 +187,8 @@ class Store(Instruction):
 
 class GetElementPtr(Instruction):
     """Pointer arithmetic: ``&pointer[index]`` for array/element access."""
+
+    __slots__ = ()
 
     opcode = "gep"
 
@@ -198,6 +212,8 @@ class GetElementPtr(Instruction):
 
 
 class Cast(Instruction):
+
+    __slots__ = ("kind",)
     opcode = "cast"
 
     def __init__(self, kind: str, value: Value, to_type: Type, name: str = ""):
@@ -215,6 +231,8 @@ class Cast(Instruction):
 
 
 class Select(Instruction):
+
+    __slots__ = ()
     opcode = "select"
 
     def __init__(self, condition: Value, true_value: Value, false_value: Value,
@@ -241,6 +259,8 @@ class Select(Instruction):
 
 class Call(Instruction):
     """Direct (callee is a Function) or indirect (callee is a pointer value) call."""
+
+    __slots__ = ("may_throw",)
 
     opcode = "call"
 
@@ -282,10 +302,14 @@ def _callee_function_type(callee: Value) -> FunctionType:
 
 
 class Terminator(Instruction):
+
+    __slots__ = ()
     is_terminator = True
 
 
 class Ret(Terminator):
+
+    __slots__ = ()
     opcode = "ret"
 
     def __init__(self, value: Optional[Value] = None):
@@ -300,6 +324,8 @@ class Ret(Terminator):
 
 
 class Branch(Terminator):
+
+    __slots__ = ("target",)
     opcode = "br"
 
     def __init__(self, target):
@@ -314,6 +340,8 @@ class Branch(Terminator):
 
 
 class CondBranch(Terminator):
+
+    __slots__ = ("true_target", "false_target")
     opcode = "condbr"
 
     def __init__(self, condition: Value, true_target, false_target):
@@ -333,6 +361,8 @@ class CondBranch(Terminator):
 
 
 class Switch(Terminator):
+
+    __slots__ = ("default_target", "cases")
     opcode = "switch"
 
     def __init__(self, value: Value, default_target,
@@ -356,6 +386,8 @@ class Switch(Terminator):
 
 
 class Unreachable(Terminator):
+
+    __slots__ = ()
     opcode = "unreachable"
 
     def __init__(self):

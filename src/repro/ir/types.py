@@ -66,12 +66,28 @@ class VoidType(Type):
 
 
 class IntType(Type):
-    """A two's-complement integer of ``bits`` width (1, 8, 16, 32, 64)."""
+    """A two's-complement integer of ``bits`` width (1, 8, 16, 32, 64).
+
+    Instances are interned per width: ``IntType(64)`` always returns the same
+    object, which cuts allocation churn in the hot IR-construction paths
+    (types are equal by spelling, so interning is purely an optimisation).
+    """
+
+    _interned: dict = {}
+
+    def __new__(cls, bits: int = 64):
+        if cls is IntType:
+            cached = cls._interned.get(bits)
+            if cached is not None:
+                return cached
+        return super().__new__(cls)
 
     def __init__(self, bits: int = 64):
         if bits not in (1, 8, 16, 32, 64):
             raise ValueError(f"unsupported integer width: {bits}")
         self.bits = bits
+        if type(self) is IntType:
+            IntType._interned.setdefault(bits, self)
 
     def __str__(self) -> str:
         return f"i{self.bits}"
@@ -94,20 +110,50 @@ class IntType(Type):
 
 
 class FloatType(Type):
-    """An IEEE-ish float; only 32 and 64 bit widths are modelled."""
+    """An IEEE-ish float; only 32 and 64 bit widths are modelled.
+
+    Interned per width, like :class:`IntType`.
+    """
+
+    _interned: dict = {}
+
+    def __new__(cls, bits: int = 64):
+        if cls is FloatType:
+            cached = cls._interned.get(bits)
+            if cached is not None:
+                return cached
+        return super().__new__(cls)
 
     def __init__(self, bits: int = 64):
         if bits not in (32, 64):
             raise ValueError(f"unsupported float width: {bits}")
         self.bits = bits
+        if type(self) is FloatType:
+            FloatType._interned.setdefault(bits, self)
 
     def __str__(self) -> str:
         return f"f{self.bits}"
 
 
 class PointerType(Type):
+    """Pointer to ``pointee``.
+
+    Each pointee type caches its pointer type, so ``PointerType(I64)`` is one
+    allocation per distinct pointee object rather than one per call site
+    (pointer types are created for every alloca/gep/load during IR builds).
+    """
+
+    def __new__(cls, pointee: Type):
+        if cls is PointerType:
+            cached = pointee.__dict__.get("_pointer_interned")
+            if cached is not None:
+                return cached
+        return super().__new__(cls)
+
     def __init__(self, pointee: Type):
         self.pointee = pointee
+        if type(self) is PointerType:
+            pointee.__dict__.setdefault("_pointer_interned", self)
 
     def __str__(self) -> str:
         return f"{self.pointee}*"

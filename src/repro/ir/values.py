@@ -14,7 +14,15 @@ from .types import FloatType, IntType, PointerType, Type
 
 
 class Value:
-    """Base class for every IR value."""
+    """Base class for every IR value.
+
+    The value/instruction hierarchy is allocated in bulk on the hot IR-build
+    and cloning paths, so every class in it declares ``__slots__``.
+    (:class:`~repro.ir.function.Function` intentionally does not: it carries
+    free-form ``attributes`` and is comparatively rare.)
+    """
+
+    __slots__ = ("type", "name")
 
     def __init__(self, type_: Type, name: str = ""):
         self.type = type_
@@ -30,6 +38,8 @@ class Value:
 
 class Constant(Value):
     """A literal integer or float constant."""
+
+    __slots__ = ("value",)
 
     def __init__(self, type_: Type, value):
         super().__init__(type_, name="")
@@ -53,12 +63,16 @@ class Constant(Value):
 class UndefValue(Value):
     """An undefined value of a given type (used for padded fusion arguments)."""
 
+    __slots__ = ()
+
     def short(self) -> str:
         return f"{self.type} undef"
 
 
 class NullPointer(Constant):
     """The null pointer constant."""
+
+    __slots__ = ()
 
     def __init__(self, type_: PointerType):
         Value.__init__(self, type_, name="")
@@ -77,6 +91,8 @@ class GlobalVariable(Value):
     arrays.
     """
 
+    __slots__ = ("value_type", "initializer", "constant", "module")
+
     def __init__(self, name: str, value_type: Type, initializer=None,
                  constant: bool = False):
         super().__init__(PointerType(value_type), name=name)
@@ -91,6 +107,8 @@ class GlobalVariable(Value):
 
 class Argument(Value):
     """A formal parameter of a function."""
+
+    __slots__ = ("index", "function")
 
     def __init__(self, type_: Type, name: str, index: int, function=None):
         super().__init__(type_, name=name)

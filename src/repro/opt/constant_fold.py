@@ -110,8 +110,9 @@ def _fold_select(inst: Select) -> Optional[Value]:
 
 class ConstantFolding(FunctionPass):
     name = "constant-folding"
+    preserves = ()  # may rewrite terminators (constant condbr/switch -> br)
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function, analyses=None) -> bool:
         changed = False
         # iterate to a fixed point so chains like (6 * 7) + 0 fold completely
         while self._fold_once(function):

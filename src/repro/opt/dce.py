@@ -9,10 +9,9 @@ the fused function.
 
 from __future__ import annotations
 
-from typing import Set
+from typing import Optional, Set
 
-from ..analysis.callgraph import CallGraph
-from ..analysis.defuse import DefUse
+from ..analysis.manager import AnalysisManager
 from ..ir.function import Function, Linkage
 from ..ir.instructions import Alloca, Call, Instruction, Load, Store
 from ..ir.module import Module
@@ -29,43 +28,79 @@ def _has_side_effects(inst: Instruction) -> bool:
 
 class DeadCodeElimination(FunctionPass):
     name = "dce"
+    # DCE only deletes non-terminator instructions, so the block graph and
+    # everything derived from it stay valid; def-use chains do not.
+    preserves = ("cfg", "domtree", "loops", "block_frequency")
 
-    def run_on_function(self, function: Function) -> bool:
-        changed = False
+    def run_on_function(self, function: Function,
+                        analyses: Optional[AnalysisManager] = None) -> bool:
+        """Worklist DCE over a single def-use build.
+
+        The fixed point of "remove side-effect-free instructions with no
+        uses, plus allocas that are only ever stored to" is unique, so
+        instead of rebuilding :class:`~repro.analysis.defuse.DefUse` every
+        sweep the pass threads a live user map through the removals: deleting
+        an instruction releases its operands, which may enqueue them in turn.
+        """
+        analyses = analyses if analyses is not None else AnalysisManager()
+        defuse = analyses.defuse(function)
+        # live users per value id, updated as code dies
+        users = {key: list(lst) for key, lst in defuse.users.items()}
+        worklist = []
+
+        def is_dead(inst: Instruction) -> bool:
+            return not _has_side_effects(inst) and not users.get(id(inst))
+
+        def release(inst: Instruction) -> None:
+            """Unregister ``inst`` as a user of its operands; enqueue newly
+            dead definitions."""
+            for op in inst.operands:
+                op_users = users.get(id(op))
+                if not op_users:
+                    continue
+                try:
+                    op_users.remove(inst)
+                except ValueError:
+                    continue
+                if not op_users and isinstance(op, Instruction) \
+                        and not _has_side_effects(op):
+                    worklist.append(op)
+
+        worklist.extend(inst for inst in function.instructions()
+                        if is_dead(inst))
+        removed = 0
         while True:
-            defuse = DefUse(function)
-            removed_this_round = 0
+            while worklist:
+                inst = worklist.pop()
+                if inst.parent is None or not is_dead(inst):
+                    continue
+                inst.parent.remove(inst)
+                removed += 1
+                release(inst)
+            # allocas only ever stored to (never loaded or escaped) die with
+            # their stores; the released store operands may re-arm the loop
+            progressed = False
             for block in function.blocks:
                 for inst in list(block.instructions):
-                    if _has_side_effects(inst):
+                    if not isinstance(inst, Alloca) or inst.parent is None:
                         continue
-                    if not defuse.is_used(inst):
+                    uses = users.get(id(inst))
+                    if uses and all(isinstance(u, Store) and u.pointer is inst
+                                    for u in uses):
+                        for use in list(uses):
+                            if use.parent is not None:
+                                use.parent.remove(use)
+                                removed += 1
+                            release(use)
+                        users[id(inst)] = []
                         block.remove(inst)
-                        removed_this_round += 1
-            # remove allocas that are only ever stored to (never loaded or escaped)
-            removed_this_round += self._remove_write_only_allocas(function)
-            if removed_this_round == 0:
-                break
-            changed = True
-        return changed
-
-    @staticmethod
-    def _remove_write_only_allocas(function: Function) -> int:
-        defuse = DefUse(function)
-        removed = 0
-        for block in function.blocks:
-            for inst in list(block.instructions):
-                if not isinstance(inst, Alloca):
-                    continue
-                uses = defuse.uses_of(inst)
-                if uses and all(isinstance(u, Store) and u.pointer is inst
-                                for u in uses):
-                    for use in uses:
-                        use.parent.remove(use)
                         removed += 1
-                    block.remove(inst)
-                    removed += 1
-        return removed
+                        progressed = True
+            if not worklist and not progressed:
+                break
+        if removed:
+            analyses.invalidate(function, preserve=self.preserves)
+        return bool(removed)
 
 
 class DeadFunctionElimination(ModulePass):
@@ -74,10 +109,12 @@ class DeadFunctionElimination(ModulePass):
     def __init__(self, entry_names: Set[str] = frozenset({"main"})):
         self.entry_names = set(entry_names)
 
-    def run_on_module(self, module: Module) -> bool:
+    def run_on_module(self, module: Module,
+                      analyses: Optional[AnalysisManager] = None) -> bool:
+        analyses = analyses if analyses is not None else AnalysisManager()
         changed = False
         while True:
-            graph = CallGraph(module)
+            graph = analyses.callgraph(module)
             removable = []
             for function in module.functions.values():
                 if function.is_declaration:
@@ -95,5 +132,6 @@ class DeadFunctionElimination(ModulePass):
                 break
             for name in removable:
                 module.remove_function(name)
+            analyses.invalidate_module(module)
             changed = True
         return changed

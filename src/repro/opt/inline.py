@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..analysis.callgraph import CallGraph
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import Alloca, Branch, Call, Instruction, Load, Ret, Store
@@ -110,7 +109,7 @@ class Inliner(ModulePass):
         self.threshold = threshold
         self.max_rounds = max_rounds
 
-    def run_on_module(self, module: Module) -> bool:
+    def run_on_module(self, module: Module, analyses=None) -> bool:
         changed = False
         for _ in range(self.max_rounds):
             round_changed = False

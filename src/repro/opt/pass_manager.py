@@ -9,19 +9,29 @@ individual pass toggles, LTO).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional, Tuple, Union
 
+from ..analysis.manager import AnalysisManager, PRESERVE_ALL
 from ..ir.function import Function
 from ..ir.module import Module, Program
 from ..ir.verifier import assert_valid
 
 
 class Pass:
-    """Base class: a named transformation over a program."""
+    """Base class: a named transformation over a program.
+
+    Passes receive an :class:`~repro.analysis.manager.AnalysisManager` and
+    fetch every analysis through it instead of constructing CFGs, dominator
+    trees or def-use chains ad hoc.  ``preserves`` names the analyses that
+    remain valid when the pass reports a change (``PRESERVE_ALL`` for pure
+    queries); everything else is invalidated by the driving :class:`Pass.run`.
+    """
 
     name = "pass"
+    preserves: Union[str, Tuple[str, ...]] = ()
 
-    def run(self, program: Program) -> bool:
+    def run(self, program: Program,
+            analyses: Optional[AnalysisManager] = None) -> bool:
         """Run over the program; return True if anything changed."""
         raise NotImplementedError
 
@@ -29,29 +39,41 @@ class Pass:
 class FunctionPass(Pass):
     """A pass applied independently to every defined function."""
 
-    def run(self, program: Program) -> bool:
+    def run(self, program: Program,
+            analyses: Optional[AnalysisManager] = None) -> bool:
+        analyses = analyses if analyses is not None else AnalysisManager()
         changed = False
         for module in program.modules:
             for function in list(module.functions.values()):
                 if function.is_declaration:
                     continue
-                changed |= bool(self.run_on_function(function))
+                function_changed = bool(self.run_on_function(function, analyses))
+                if function_changed:
+                    analyses.invalidate(function, preserve=self.preserves)
+                changed |= function_changed
         return changed
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function,
+                        analyses: Optional[AnalysisManager] = None) -> bool:
         raise NotImplementedError
 
 
 class ModulePass(Pass):
     """A pass applied to each module as a whole."""
 
-    def run(self, program: Program) -> bool:
+    def run(self, program: Program,
+            analyses: Optional[AnalysisManager] = None) -> bool:
+        analyses = analyses if analyses is not None else AnalysisManager()
         changed = False
         for module in program.modules:
-            changed |= bool(self.run_on_module(module))
+            module_changed = bool(self.run_on_module(module, analyses))
+            if module_changed:
+                analyses.invalidate_module(module, preserve=self.preserves)
+            changed |= module_changed
         return changed
 
-    def run_on_module(self, module: Module) -> bool:
+    def run_on_module(self, module: Module,
+                      analyses: Optional[AnalysisManager] = None) -> bool:
         raise NotImplementedError
 
 
@@ -79,10 +101,12 @@ class OptOptions:
 
 class PassManager:
     def __init__(self, passes: Optional[Iterable[Pass]] = None,
-                 verify_each: bool = False):
+                 verify_each: bool = False,
+                 analyses: Optional[AnalysisManager] = None):
         self.passes: List[Pass] = list(passes or [])
         self.verify_each = verify_each
         self.history: List[str] = []
+        self.analyses = analyses if analyses is not None else AnalysisManager()
 
     def add(self, pass_: Pass) -> "PassManager":
         self.passes.append(pass_)
@@ -91,7 +115,7 @@ class PassManager:
     def run(self, program: Program) -> bool:
         changed = False
         for pass_ in self.passes:
-            pass_changed = pass_.run(program)
+            pass_changed = pass_.run(program, self.analyses)
             changed |= bool(pass_changed)
             self.history.append(f"{pass_.name}:{'changed' if pass_changed else 'no-op'}")
             if self.verify_each:

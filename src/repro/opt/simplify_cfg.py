@@ -15,9 +15,9 @@ effect the paper relies on.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from ..analysis.cfg import ControlFlowGraph
+from ..analysis.manager import AnalysisManager
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import Branch, CondBranch, Switch
@@ -44,29 +44,36 @@ def _retarget(function: Function, old: BasicBlock, new: BasicBlock) -> None:
 
 class SimplifyCFG(FunctionPass):
     name = "simplify-cfg"
+    preserves = ()  # restructures the block graph wholesale
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function,
+                        analyses: Optional[AnalysisManager] = None) -> bool:
+        analyses = analyses if analyses is not None else AnalysisManager()
         changed = False
         while True:
-            local = (self._remove_unreachable(function)
-                     or self._merge_straight_line(function)
-                     or self._skip_forwarding_blocks(function))
+            local = (self._remove_unreachable(function, analyses)
+                     or self._merge_straight_line(function, analyses)
+                     or self._skip_forwarding_blocks(function, analyses))
             if not local:
                 break
             changed = True
         return changed
 
     @staticmethod
-    def _remove_unreachable(function: Function) -> bool:
-        cfg = ControlFlowGraph(function)
+    def _remove_unreachable(function: Function,
+                            analyses: AnalysisManager) -> bool:
+        cfg = analyses.cfg(function)
         dead = cfg.unreachable_blocks()
         for block in dead:
             function.remove_block(block)
+        if dead:
+            analyses.invalidate(function)
         return bool(dead)
 
     @staticmethod
-    def _merge_straight_line(function: Function) -> bool:
-        cfg = ControlFlowGraph(function)
+    def _merge_straight_line(function: Function,
+                             analyses: AnalysisManager) -> bool:
+        cfg = analyses.cfg(function)
         for block in function.blocks:
             succs = cfg.successors.get(block, [])
             if len(succs) != 1:
@@ -83,11 +90,13 @@ class SimplifyCFG(FunctionPass):
                 succ.remove(inst)
                 block.append(inst)
             function.remove_block(succ)
+            analyses.invalidate(function)
             return True
         return False
 
     @staticmethod
-    def _skip_forwarding_blocks(function: Function) -> bool:
+    def _skip_forwarding_blocks(function: Function,
+                                analyses: AnalysisManager) -> bool:
         for block in function.blocks:
             if block is function.entry_block:
                 continue
@@ -101,5 +110,6 @@ class SimplifyCFG(FunctionPass):
                 continue
             _retarget(function, block, target)
             function.remove_block(block)
+            analyses.invalidate(function)
             return True
         return False

@@ -1,0 +1,104 @@
+"""Differential tests: compiled-dispatch VM vs. the legacy interpreter.
+
+The compiled fast path must be bit-for-bit identical on everything the
+evaluation observes: exit value, output stream, cycle count, step count,
+instruction count and call count — across every workload of every suite
+(`workloads/suites.py`), and across obfuscated/optimized variants.
+"""
+
+import pytest
+
+from repro.core.obfuscator import obfuscate
+from repro.opt.pipelines import optimize_program
+from repro.vm import Interpreter, StepLimitExceeded, run_program
+from repro.workloads.suites import load_suite, suite_names
+from repro.ir import IRBuilder, Module, Program, create_function, I64
+
+
+def result_tuple(result):
+    return (result.exit_value, tuple(result.output), result.cycles,
+            result.instructions_executed, result.call_count, result.steps)
+
+
+def all_workloads():
+    for name in suite_names():
+        for workload in load_suite(name):
+            yield workload
+
+
+class TestEveryWorkload:
+    @pytest.mark.parametrize("workload", list(all_workloads()),
+                             ids=lambda wp: f"{wp.suite}-{wp.name}")
+    def test_identical_on_workload(self, workload):
+        program = workload.build()
+        legacy = run_program(program, compiled=False)
+        fast = run_program(program, compiled=True)
+        assert result_tuple(legacy) == result_tuple(fast)
+
+
+class TestObfuscatedVariants:
+    @pytest.mark.parametrize("mode", ["fission", "fusion", "fufi.sep",
+                                      "fufi.ori", "fufi.all"])
+    def test_identical_after_khaos_and_o2(self, mode):
+        workload = load_suite("spec2006")[0]
+        optimized = optimize_program(obfuscate(workload.build(),
+                                               mode=mode).program)
+        legacy = run_program(optimized, compiled=False)
+        fast = run_program(optimized, compiled=True)
+        assert result_tuple(legacy) == result_tuple(fast)
+
+
+class TestEdgeSemantics:
+    def test_step_limit_fires_at_the_same_step(self):
+        workload = load_suite("coreutils")[0]
+        program = workload.build()
+        reference = run_program(program)
+        limit = reference.steps // 2
+        outcomes = {}
+        for compiled in (False, True):
+            interp = Interpreter(program, max_steps=limit, compiled=compiled)
+            with pytest.raises(StepLimitExceeded):
+                interp.run()
+            outcomes[compiled] = interp.steps
+        assert outcomes[False] == outcomes[True] == limit + 1
+
+    def test_exit_mid_program_counts_identically(self):
+        from repro.ir import FunctionType
+        module = Module("m")
+        putint = module.declare_function("putint", FunctionType(I64, [I64]))
+        exit_fn = module.declare_function("exit", FunctionType(I64, [I64]))
+        f = create_function(module, "main", I64, [])
+        b = IRBuilder(f.entry_block)
+        b.call(putint, [b.add(20, 22)])
+        b.call(exit_fn, [3])
+        b.call(putint, [99])  # never reached
+        b.ret(0)
+        program = Program("p", [module])
+        legacy = run_program(program, compiled=False)
+        fast = run_program(program, compiled=True)
+        assert legacy.exit_value == fast.exit_value == 3
+        assert result_tuple(legacy) == result_tuple(fast)
+
+    def test_invalidate_compiled_drops_cached_blocks(self):
+        workload = load_suite("coreutils")[0]
+        program = workload.build()
+        interp = Interpreter(program, compiled=True)
+        interp.run()
+        assert interp._compiled_blocks
+        some_block = next(iter(interp._compiled_blocks))
+        function = some_block.parent
+        interp.invalidate_compiled(function)
+        assert all(block.parent is not function
+                   for block in interp._compiled_blocks)
+        interp.invalidate_compiled()
+        assert not interp._compiled_blocks
+
+    def test_dispatch_env_var_selects_the_path(self, monkeypatch):
+        workload = load_suite("coreutils")[1]
+        program = workload.build()
+        monkeypatch.setenv("REPRO_VM_DISPATCH", "legacy")
+        assert Interpreter(program).compiled is False
+        monkeypatch.setenv("REPRO_VM_DISPATCH", "compiled")
+        assert Interpreter(program).compiled is True
+        monkeypatch.delenv("REPRO_VM_DISPATCH")
+        assert Interpreter(program).compiled is True
