@@ -2,10 +2,10 @@
 
 Run from the repository root::
 
-    PYTHONPATH=src python benchmarks/perf/run_bench.py [--quick] [--out PATH]
+    PYTHONPATH=src python benchmarks/perf/run_bench.py [--quick|--smoke] [--out PATH]
 
 or via ``scripts/bench.sh``.  Writes ``BENCH_results.json`` so subsequent PRs
-can diff the perf trajectory.  Three metrics are tracked:
+can diff the perf trajectory.  Tracked metrics:
 
 * **vm** — steps/second of the interpreter on the Figure-6 workloads,
   compiled dispatch vs. the legacy ``isinstance``-ladder path (kept in-tree
@@ -14,11 +14,20 @@ can diff the perf trajectory.  Three metrics are tracked:
   executing every built variant in the VM to collect dynamic cycle counts,
   compiled vs. legacy dispatch;
 * **fig6_end_to_end** — the same loop including the build phases
-  (obfuscate, optimize, lower), which exercises the AnalysisManager caching;
-* **pipeline** — wall time of the build phases alone.
+  (obfuscate, optimize, lower), run through a shared
+  :class:`~repro.core.variant_cache.VariantCache` exactly as the figure
+  drivers do; reports the cache stats alongside the timings;
+* **pipeline** — wall time of the *uncached* build phases alone (the raw
+  cost of obfuscate → optimize → lower, i.e. incremental simplify-cfg and
+  one-pass clone/link);
+* **variant_cache** — cold-vs-warm build comparison plus the figure-8 reuse
+  check: after the overhead loop has populated the cache, a
+  figure-8-style precision run must hit it (nonzero ``fig8.hit_rate``).
 
 All workloads are deterministic (profile-seeded), so the only
 run-to-run variance is machine noise; every timing is a best-of-``reps``.
+``--smoke`` is for CI: one rep, fewest programs, and a schema check on the
+written JSON — no timing-sensitive assertions.
 """
 
 from __future__ import annotations
@@ -33,7 +42,9 @@ from typing import Callable, Dict, List
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
 
+from repro.core.variant_cache import VariantCache      # noqa: E402
 from repro.evaluation.overhead import measure_overhead  # noqa: E402
+from repro.evaluation.precision import measure_precision  # noqa: E402
 from repro.opt.pipelines import optimize_program        # noqa: E402
 from repro.backend.lowering import lower_program        # noqa: E402
 from repro.core.obfuscator import obfuscate             # noqa: E402
@@ -42,6 +53,10 @@ from repro.workloads.suites import (spec2006_programs,  # noqa: E402
                                     spec2017_programs)
 
 MEASURE_LABELS = ("fission", "fufi.ori")
+
+#: Keys every result file must contain (checked by --smoke).
+REQUIRED_KEYS = ("schema", "config", "vm", "fig6_measure_loop",
+                 "fig6_end_to_end", "pipeline", "variant_cache")
 
 
 def best_of(fn: Callable[[], object], reps: int) -> float:
@@ -112,10 +127,12 @@ def bench_fig6_measure_loop(programs, reps: int) -> Dict[str, object]:
 
 
 def bench_fig6_end_to_end(programs, reps: int) -> Dict[str, object]:
+    cache = VariantCache()
+
     def loop(dispatch: str):
         os.environ["REPRO_VM_DISPATCH"] = dispatch
         try:
-            measure_overhead(programs, labels=MEASURE_LABELS)
+            measure_overhead(programs, labels=MEASURE_LABELS, cache=cache)
         finally:
             os.environ.pop("REPRO_VM_DISPATCH", None)
 
@@ -127,6 +144,7 @@ def bench_fig6_end_to_end(programs, reps: int) -> Dict[str, object]:
         "legacy_s": round(legacy_s, 4),
         "compiled_s": round(compiled_s, 4),
         "speedup": round(legacy_s / compiled_s, 2),
+        "cache": cache.stats(),
     }
 
 
@@ -139,15 +157,74 @@ def bench_pipeline(programs, reps: int) -> Dict[str, object]:
     }
 
 
+def bench_variant_cache(programs, reps: int) -> Dict[str, object]:
+    """Cold vs warm build loop, plus the figure-8 cross-experiment reuse."""
+    cache = VariantCache()
+    gc.collect()
+    start = time.perf_counter()
+    measure_overhead(programs, labels=MEASURE_LABELS, cache=cache)
+    cold_s = time.perf_counter() - start
+    warm_s = best_of(
+        lambda: measure_overhead(programs, labels=MEASURE_LABELS, cache=cache),
+        reps)
+
+    # figure-8 style: precision over the same workload/label matrix must
+    # reuse the variants the overhead loop already built
+    hits_before, misses_before = cache.hits, cache.misses
+    gc.collect()
+    start = time.perf_counter()
+    measure_precision(programs, labels=MEASURE_LABELS, cache=cache)
+    fig8_s = time.perf_counter() - start
+    fig8_hits = cache.hits - hits_before
+    fig8_misses = cache.misses - misses_before
+    fig8_total = fig8_hits + fig8_misses
+    return {
+        "programs": [wp.name for wp in programs],
+        "labels": list(MEASURE_LABELS),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "build_speedup": round(cold_s / warm_s, 2) if warm_s else None,
+        "fig8": {
+            "precision_s": round(fig8_s, 4),
+            "hits": fig8_hits,
+            "misses": fig8_misses,
+            "hit_rate": round(fig8_hits / fig8_total, 4) if fig8_total else 0.0,
+        },
+        "overall": cache.stats(),
+    }
+
+
+def check_results(results: Dict[str, object]) -> List[str]:
+    """Structural (timing-independent) sanity checks for --smoke."""
+    problems = []
+    for key in REQUIRED_KEYS:
+        if key not in results:
+            problems.append(f"missing key {key!r}")
+    cache = results.get("variant_cache", {})
+    if cache and cache.get("fig8", {}).get("hits", 0) <= 0:
+        problems.append("variant cache saw no figure-8 hits")
+    e2e = results.get("fig6_end_to_end", {})
+    if e2e and e2e.get("cache", {}).get("hits", 0) <= 0:
+        problems.append("fig6 end-to-end loop never hit the variant cache")
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--quick", action="store_true",
                         help="fewer programs and reps (smoke run)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: minimal work, then verify the output "
+                             "file structurally (no timing assertions)")
     parser.add_argument("--out", default="BENCH_results.json",
                         help="output path (default: BENCH_results.json)")
     args = parser.parse_args(argv)
 
-    if args.quick:
+    if args.smoke:
+        vm_programs = spec2006_programs()[:1]
+        loop_programs = spec2006_programs()[:1]
+        reps = 1
+    elif args.quick:
         vm_programs = spec2006_programs()[:2]
         loop_programs = spec2006_programs()[:1]
         reps = 2
@@ -157,14 +234,16 @@ def main(argv=None) -> int:
         reps = 5
 
     results = {
-        "schema": 1,
-        "config": {"quick": bool(args.quick), "reps": reps,
+        "schema": 2,
+        "config": {"quick": bool(args.quick or args.smoke), "reps": reps,
                    "python": sys.version.split()[0]},
         "vm": bench_vm(vm_programs, reps),
         "fig6_measure_loop": bench_fig6_measure_loop(loop_programs, reps),
         "fig6_end_to_end": bench_fig6_end_to_end(loop_programs,
                                                  max(2, reps // 2)),
         "pipeline": bench_pipeline(loop_programs, max(2, reps // 2)),
+        "variant_cache": bench_variant_cache(loop_programs,
+                                             max(1, reps // 2)),
     }
 
     with open(args.out, "w") as fh:
@@ -175,10 +254,26 @@ def main(argv=None) -> int:
           f"({results['vm']['steps_per_sec_compiled']:,} steps/s compiled, "
           f"{results['vm']['steps_per_sec_legacy']:,} legacy)")
     print(f"fig6 measure loop: {results['fig6_measure_loop']['speedup']}x")
-    print(f"fig6 end to end:   {results['fig6_end_to_end']['speedup']}x")
+    print(f"fig6 end to end:   {results['fig6_end_to_end']['speedup']}x "
+          f"(compiled {results['fig6_end_to_end']['compiled_s']}s, "
+          f"cache hit rate {results['fig6_end_to_end']['cache']['hit_rate']})")
     print(f"pipeline build:    "
-          f"{results['pipeline']['obfuscate_optimize_lower_s']}s")
+          f"{results['pipeline']['obfuscate_optimize_lower_s']}s (uncached)")
+    vc = results["variant_cache"]
+    print(f"variant cache:     cold {vc['cold_s']}s -> warm {vc['warm_s']}s "
+          f"({vc['build_speedup']}x); fig8 hit rate {vc['fig8']['hit_rate']}")
     print(f"wrote {args.out}")
+
+    if args.smoke:
+        with open(args.out) as fh:
+            reread = json.load(fh)
+        problems = check_results(reread)
+        if problems:
+            for problem in problems:
+                print(f"SMOKE FAIL: {problem}", file=sys.stderr)
+            return 1
+        print(f"smoke ok: {args.out} contains "
+              f"{', '.join(REQUIRED_KEYS)}")
     return 0
 
 

@@ -30,6 +30,13 @@ class OLLVMObfuscator:
         self.label = label
         self.passes = passes
 
+    def cache_key(self) -> tuple:
+        """Identity of this obfuscator for :class:`~repro.core.variant_cache.VariantCache`."""
+        return ("ollvm", self.label, tuple(
+            (pass_.name, getattr(pass_, "ratio", None),
+             getattr(pass_, "seed", None))
+            for pass_ in self.passes))
+
     def obfuscate(self, program: Program, verify: bool = True) -> ObfuscationResult:
         working = program.link()
         module = working.modules[0]

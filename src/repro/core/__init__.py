@@ -7,10 +7,11 @@ from .region import Region, RegionIdentifier
 from .fission import Fission
 from .fusion import Fusion, TAG_FUSED_A, TAG_FUSED_B
 from .obfuscator import Khaos, ObfuscationResult, obfuscate
+from .variant_cache import VariantCache, variant_key
 
 __all__ = [
     "FissionConfig", "FusionConfig", "KhaosConfig", "Mode", "ProvenanceMap",
     "FissionStats", "FusionStats", "KhaosStats", "Region", "RegionIdentifier",
     "Fission", "Fusion", "TAG_FUSED_A", "TAG_FUSED_B", "Khaos",
-    "ObfuscationResult", "obfuscate",
+    "ObfuscationResult", "obfuscate", "VariantCache", "variant_key",
 ]

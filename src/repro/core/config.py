@@ -69,3 +69,9 @@ class KhaosConfig:
 
     def with_mode(self, mode: str) -> "KhaosConfig":
         return replace(self, mode=mode)
+
+    def cache_key(self) -> tuple:
+        """Hashable identity of this configuration for the variant cache."""
+        from dataclasses import astuple
+        return ("khaos", self.mode, self.seed,
+                astuple(self.fission), astuple(self.fusion))

@@ -60,6 +60,10 @@ class Khaos:
     def __init__(self, config: Optional[KhaosConfig] = None):
         self.config = config or KhaosConfig()
 
+    def cache_key(self) -> tuple:
+        """Identity of this obfuscator for :class:`~repro.core.variant_cache.VariantCache`."""
+        return self.config.cache_key()
+
     def obfuscate(self, program: Program, verify: bool = True) -> ObfuscationResult:
         working = program.link()
         module = working.modules[0]

@@ -1,0 +1,127 @@
+"""Build-variant cache for the evaluation experiments.
+
+The paper's pipeline compiles every workload "under O2 with LTO" once per
+obfuscation configuration, and Figures 6, 7 and 8 all iterate the same
+(workload, configuration) matrix — the overhead experiments re-build exactly
+the variants the diffing-precision experiment builds.  Workload synthesis is
+profile-seeded and every obfuscator is seeded too, so a built variant is a
+pure function of ``(workload, obfuscation config, optimization options)``:
+rebuilding it is wasted work.
+
+:class:`VariantCache` memoises those builds.  Keys are derived with
+:func:`variant_key`; obfuscators advertise their configuration through a
+``cache_key()`` method (see :meth:`repro.core.config.KhaosConfig.cache_key`),
+so two obfuscators with the same label but different knobs never collide.
+
+Cached artifacts are shared between callers, so consumers must treat them as
+immutable: run the program, diff the binary, read the provenance — never
+mutate the IR in place.  (The evaluation drivers only ever execute and diff.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
+
+#: Bump when the build pipeline changes incompatibly (key schema version).
+_KEY_SCHEMA = 1
+
+
+def _freeze(value) -> object:
+    """Recursively convert ``value`` into a hashable key component."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (type(value).__name__,) + tuple(
+            (f.name, _freeze(getattr(value, f.name)))
+            for f in dataclasses.fields(value))
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def config_cache_key(obfuscator_or_label) -> object:
+    """The configuration component of a variant key.
+
+    Accepts a plain label string (e.g. ``"baseline"``) or any obfuscator
+    object; objects exposing ``cache_key()`` use it, others fall back to
+    their ``label`` plus frozen public configuration.
+    """
+    if isinstance(obfuscator_or_label, str):
+        return obfuscator_or_label
+    cache_key = getattr(obfuscator_or_label, "cache_key", None)
+    if callable(cache_key):
+        return cache_key()
+    return (type(obfuscator_or_label).__name__,
+            getattr(obfuscator_or_label, "label", "?"))
+
+
+def variant_key(workload, obfuscator_or_label, options=None) -> Tuple:
+    """Cache key for one built variant.
+
+    ``workload`` is a :class:`~repro.workloads.suites.WorkloadProgram` (its
+    *whole* profile pins the synthesised IR — every knob, not just the seed);
+    ``obfuscator_or_label`` identifies the obfuscation configuration incl.
+    its seed; ``options`` the :class:`~repro.opt.pass_manager.OptOptions` of
+    the O2+LTO pipeline.
+    """
+    profile = getattr(workload, "profile", None)
+    return (_KEY_SCHEMA,
+            workload.suite, workload.name,
+            _freeze(profile) if profile is not None else None,
+            config_cache_key(obfuscator_or_label),
+            _freeze(options) if options is not None else None)
+
+
+class VariantCache:
+    """LRU memo of built variants, keyed by :func:`variant_key`.
+
+    ``max_entries=None`` means unbounded (the evaluation matrices are small:
+    at most a few hundred variants).  ``hits``/``misses`` feed the benchmark
+    report; ``hit_rate`` is the fraction of lookups served from cache.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive or None")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple) -> bool:
+        return key in self._entries
+
+    def get_or_build(self, key: Tuple, builder: Callable[[], object]):
+        """Return the cached artifact for ``key``, building it on first use."""
+        try:
+            artifact = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            artifact = builder()
+            self._entries[key] = artifact
+            if (self.max_entries is not None
+                    and len(self._entries) > self.max_entries):
+                self._entries.popitem(last=False)
+            return artifact
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return artifact
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, object]:
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses, "hit_rate": round(self.hit_rate, 4)}
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0

@@ -12,10 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..core.variant_cache import VariantCache, variant_key
 from ..opt.pass_manager import OptOptions
 from ..toolchain import (ALL_LABELS, KHAOS_LABELS, build_baseline,
                          build_obfuscated, obfuscator_for, overhead_percent)
 from ..utils import geometric_mean
+from ..vm.machine import run_program
 from ..workloads.suites import WorkloadProgram, spec2006_programs, spec2017_programs
 
 
@@ -63,37 +65,68 @@ class OverheadReport:
         return geometric_mean(values) * 100.0
 
 
+def build_variant(workload: WorkloadProgram, label: str,
+                  options: Optional[OptOptions] = None,
+                  cache: Optional[VariantCache] = None):
+    """Build one variant of ``workload``, through ``cache`` when given.
+
+    ``label`` is either ``"baseline"`` or an obfuscation label understood by
+    :func:`~repro.toolchain.obfuscator_for`.  Builds are deterministic, so a
+    cached artifact is bit-identical to a fresh build; cached artifacts are
+    shared and must not be mutated (execute / diff / read only).
+    """
+    if label == "baseline":
+        key_source = "baseline"
+        builder = lambda: build_baseline(workload.build(), options)  # noqa: E731
+    else:
+        key_source = obfuscator_for(label)
+        builder = lambda: build_obfuscated(  # noqa: E731
+            workload.build(), key_source, options)
+    if cache is None:
+        return builder()
+    return cache.get_or_build(variant_key(workload, key_source, options),
+                              builder)
+
+
 def measure_overhead(workloads: Sequence[WorkloadProgram],
                      labels: Sequence[str] = KHAOS_LABELS,
-                     options: Optional[OptOptions] = None) -> OverheadReport:
-    """Run every workload under the baseline and each obfuscation label."""
+                     options: Optional[OptOptions] = None,
+                     cache: Optional[VariantCache] = None) -> OverheadReport:
+    """Run every workload under the baseline and each obfuscation label.
+
+    Passing a :class:`~repro.core.variant_cache.VariantCache` skips the build
+    phase (obfuscate → optimize → lower) for variants already built by an
+    earlier experiment; the VM measurement still executes every variant.
+    """
     report = OverheadReport()
     for workload in workloads:
-        baseline = build_baseline(workload.build(), options, run=True)
+        baseline = build_variant(workload, "baseline", options, cache)
+        baseline_cycles = run_program(baseline.program).cycles
         for label in labels:
-            variant = build_obfuscated(workload.build(), obfuscator_for(label),
-                                       options, run=True)
+            variant = build_variant(workload, label, options, cache)
             report.rows.append(OverheadRow(
                 program=workload.name, suite=workload.suite, label=label,
-                baseline_cycles=baseline.execution.cycles,
-                cycles=variant.execution.cycles))
+                baseline_cycles=baseline_cycles,
+                cycles=run_program(variant.program).cycles))
     return report
 
 
 def figure6(limit: Optional[int] = None,
-            options: Optional[OptOptions] = None) -> OverheadReport:
+            options: Optional[OptOptions] = None,
+            cache: Optional[VariantCache] = None) -> OverheadReport:
     """Figure 6: Khaos overhead on the SPEC CPU 2006/2017 programs."""
     workloads = spec2006_programs() + spec2017_programs()
     if limit is not None:
         workloads = workloads[:limit]
-    return measure_overhead(workloads, KHAOS_LABELS, options)
+    return measure_overhead(workloads, KHAOS_LABELS, options, cache)
 
 
 def figure7(limit: Optional[int] = None,
-            options: Optional[OptOptions] = None) -> OverheadReport:
+            options: Optional[OptOptions] = None,
+            cache: Optional[VariantCache] = None) -> OverheadReport:
     """Figure 7: O-LLVM (Sub/Bog/Fla/Fla-10) vs Khaos overhead."""
     workloads = spec2006_programs() + spec2017_programs()
     if limit is not None:
         workloads = workloads[:limit]
     labels = ("sub", "bog", "fla", "fla-10") + tuple(KHAOS_LABELS)
-    return measure_overhead(workloads, labels, options)
+    return measure_overhead(workloads, labels, options, cache)

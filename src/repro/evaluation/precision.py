@@ -11,12 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..core.variant_cache import VariantCache
 from ..diffing import all_differs, precision_at_1
 from ..diffing.base import BinaryDiffer
 from ..opt.pass_manager import OptOptions
-from ..toolchain import ALL_LABELS, build_baseline, build_obfuscated, obfuscator_for
+from ..toolchain import ALL_LABELS
 from ..workloads.suites import (WorkloadProgram, coreutils_programs,
                                 spec2006_programs, spec2017_programs)
+from .overhead import build_variant
 
 
 @dataclass
@@ -62,15 +64,20 @@ class PrecisionReport:
 def measure_precision(workloads: Sequence[WorkloadProgram],
                       labels: Sequence[str] = ALL_LABELS,
                       differs: Optional[Sequence[BinaryDiffer]] = None,
-                      options: Optional[OptOptions] = None) -> PrecisionReport:
+                      options: Optional[OptOptions] = None,
+                      cache: Optional[VariantCache] = None) -> PrecisionReport:
+    """Diff every obfuscated build against its baseline with every tool.
+
+    A shared :class:`~repro.core.variant_cache.VariantCache` lets this reuse
+    the variants the overhead experiments already built (and vice versa).
+    """
     differs = list(differs) if differs is not None else all_differs()
     report = PrecisionReport()
     for workload in workloads:
-        baseline = build_baseline(workload.build(), options)
+        baseline = build_variant(workload, "baseline", options, cache)
         original_names = [f.name for f in baseline.binary.functions]
         for label in labels:
-            variant = build_obfuscated(workload.build(), obfuscator_for(label),
-                                       options)
+            variant = build_variant(workload, label, options, cache)
             for differ in differs:
                 result = differ.diff(baseline.binary, variant.binary)
                 precision = precision_at_1(result, variant.provenance,
@@ -85,7 +92,8 @@ def measure_precision(workloads: Sequence[WorkloadProgram],
 def figure8(limit_spec: Optional[int] = 4, limit_coreutils: Optional[int] = 4,
             labels: Sequence[str] = ALL_LABELS,
             differs: Optional[Sequence[BinaryDiffer]] = None,
-            options: Optional[OptOptions] = None) -> PrecisionReport:
+            options: Optional[OptOptions] = None,
+            cache: Optional[VariantCache] = None) -> PrecisionReport:
     """Figure 8 on a configurable subset of T-I and T-II.
 
     The full suites (47 SPEC + 108 CoreUtils programs x 8 obfuscations x 5
@@ -98,4 +106,4 @@ def figure8(limit_spec: Optional[int] = 4, limit_coreutils: Optional[int] = 4,
         spec = spec[:limit_spec]
     if limit_coreutils is not None:
         core = core[:limit_coreutils]
-    return measure_precision(spec + core, labels, differs, options)
+    return measure_precision(spec + core, labels, differs, options, cache)

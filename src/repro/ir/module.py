@@ -6,18 +6,24 @@ A :class:`Module` corresponds to one translation unit / shared object; a
 suites "under O2 with link-time optimization", i.e. whole-program), while
 keeping the notion of the original module boundary available for the fusion
 trampoline mechanism.
+
+Cloning and linking are both *one-pass*: a single ``value_map`` (``id(old
+value) -> new value``) is threaded through every module, so cross-module
+references — a call in one module whose callee :class:`Function` object lives
+in another — resolve directly while bodies are cloned.  Nothing is patched up
+afterwards by name.
 """
 
 from __future__ import annotations
 
 import copy
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .basicblock import BasicBlock
 from .function import Function, Linkage
-from .instructions import (Branch, Call, CondBranch, Instruction, Switch)
-from .types import FunctionType, Type
-from .values import Argument, Constant, GlobalVariable, UndefValue, Value
+from .instructions import Branch, CondBranch, Switch
+from .types import FunctionType
+from .values import GlobalVariable, Value
 
 
 class Module:
@@ -42,13 +48,20 @@ class Module:
         return self.functions.get(name)
 
     def remove_function(self, name: str) -> None:
-        function = self.functions.pop(name)
+        function = self.functions.pop(name, None)
+        if function is None:
+            raise KeyError(
+                f"no function named {name!r} in module {self.name!r}")
         function.module = None
 
     def declare_function(self, name: str, ftype: FunctionType) -> Function:
         """Get-or-create an external declaration (e.g. a libc routine)."""
         existing = self.functions.get(name)
         if existing is not None:
+            if existing.ftype != ftype:
+                raise TypeError(
+                    f"function {name!r} re-declared in {self.name!r} with type "
+                    f"{ftype}, but it already has type {existing.ftype}")
             return existing
         function = Function(name, ftype, linkage=Linkage.EXTERNAL)
         return self.add_function(function)
@@ -75,36 +88,61 @@ class Module:
 
     def clone(self) -> "Module":
         """Deep copy of the module with all cross-references remapped."""
-        new_module = Module(self.name)
-        new_module.metadata = dict(self.metadata)
         value_map: Dict[int, Value] = {}
-
-        for g in self.globals.values():
-            new_g = GlobalVariable(g.name, g.value_type,
-                                   initializer=copy.deepcopy(g.initializer),
-                                   constant=g.constant)
-            new_module.add_global(new_g)
-            value_map[id(g)] = new_g
-
-        # first create every function shell so call operands can be remapped
-        for f in self.functions.values():
-            new_f = Function(f.name, f.ftype,
-                             param_names=[a.name for a in f.args],
-                             linkage=f.linkage)
-            new_f.attributes = dict(f.attributes)
-            new_f.eh_pairs = list(f.eh_pairs)
-            new_module.add_function(new_f)
-            value_map[id(f)] = new_f
-            for old_arg, new_arg in zip(f.args, new_f.args):
-                value_map[id(old_arg)] = new_arg
-
-        for f in self.functions.values():
-            clone_function_body(f, value_map[id(f)], value_map)
-
+        new_module = _clone_module_shell(self, value_map)
+        _clone_module_bodies(self, value_map)
         return new_module
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Module {self.name} ({len(self.functions)} functions)>"
+
+
+def _clone_global(variable: GlobalVariable,
+                  name: Optional[str] = None) -> GlobalVariable:
+    return GlobalVariable(name if name is not None else variable.name,
+                          variable.value_type,
+                          initializer=copy.deepcopy(variable.initializer),
+                          constant=variable.constant)
+
+
+def _clone_function_shell(function: Function,
+                          name: Optional[str] = None) -> Function:
+    """An empty copy of ``function``: signature, linkage and attributes only."""
+    new_f = Function(name if name is not None else function.name,
+                     function.ftype,
+                     param_names=[a.name for a in function.args],
+                     linkage=function.linkage)
+    new_f.attributes = dict(function.attributes)
+    new_f.eh_pairs = list(function.eh_pairs)
+    return new_f
+
+
+def _map_function(function: Function, new_f: Function,
+                  value_map: Dict[int, Value]) -> None:
+    value_map[id(function)] = new_f
+    for old_arg, new_arg in zip(function.args, new_f.args):
+        value_map[id(old_arg)] = new_arg
+
+
+def _clone_module_shell(module: Module, value_map: Dict[int, Value]) -> Module:
+    """Clone globals and function shells, registering everything in ``value_map``."""
+    new_module = Module(module.name)
+    new_module.metadata = dict(module.metadata)
+    for g in module.globals.values():
+        new_g = _clone_global(g)
+        new_module.add_global(new_g)
+        value_map[id(g)] = new_g
+    for f in module.functions.values():
+        new_f = _clone_function_shell(f)
+        new_module.add_function(new_f)
+        _map_function(f, new_f, value_map)
+    return new_module
+
+
+def _clone_module_bodies(module: Module, value_map: Dict[int, Value]) -> None:
+    for f in module.functions.values():
+        if not f.is_declaration:
+            clone_function_body(f, value_map[id(f)], value_map)
 
 
 def clone_function_body(source: Function, target: Function,
@@ -150,6 +188,21 @@ def clone_function_body(source: Function, target: Function,
             new_inst.cases = [(c, block_map[id(t)]) for c, t in new_inst.cases]
 
 
+def _globals_equivalent(a: GlobalVariable, b: GlobalVariable) -> bool:
+    return (a.value_type == b.value_type and a.constant == b.constant
+            and a.initializer == b.initializer)
+
+
+def _suffixed_name(taken, base: str, suffix: str) -> str:
+    """``base.suffix``, uniquified against ``taken`` (a name container)."""
+    candidate = f"{base}.{suffix}"
+    counter = 1
+    while candidate in taken:
+        counter += 1
+        candidate = f"{base}.{suffix}.{counter}"
+    return candidate
+
+
 class Program:
     """A set of modules plus an entry point, the unit the evaluation runs on."""
 
@@ -182,42 +235,42 @@ class Program:
         return None
 
     def clone(self) -> "Program":
-        cloned = Program(self.name, [m.clone() for m in self.modules],
-                         entry=self.entry)
+        """Deep copy of the whole program in one pass.
+
+        A single ``value_map`` spans every module, so a reference from one
+        module to a function or global of another resolves to the *cloned*
+        object directly while bodies are copied — the clone never aliases the
+        source program.
+        """
+        value_map: Dict[int, Value] = {}
+        new_modules = [_clone_module_shell(m, value_map) for m in self.modules]
+        for module in self.modules:
+            _clone_module_bodies(module, value_map)
+        cloned = Program(self.name, new_modules, entry=self.entry)
         cloned.metadata = dict(self.metadata)
-        if len(cloned.modules) > 1:
-            # cross-module references still point at the source program's
-            # objects after per-module cloning; re-resolve them by name so the
-            # clone never aliases the original
-            functions_by_name = {}
-            globals_by_name = {}
-            for module in cloned.modules:
-                for f in module.functions.values():
-                    if not f.is_declaration or f.name not in functions_by_name:
-                        functions_by_name[f.name] = f
-                for g in module.globals.values():
-                    globals_by_name.setdefault(g.name, g)
-            for module in cloned.modules:
-                for f in module.functions.values():
-                    for inst in f.instructions():
-                        for i, op in enumerate(inst.operands):
-                            if isinstance(op, Function):
-                                resolved = functions_by_name.get(op.name)
-                                if resolved is not None and resolved is not op:
-                                    inst.operands[i] = resolved
-                            elif isinstance(op, GlobalVariable):
-                                resolved_g = globals_by_name.get(op.name)
-                                if resolved_g is not None and resolved_g is not op:
-                                    inst.operands[i] = resolved_g
         return cloned
 
     def link(self) -> "Program":
         """Merge every module into a single linked module (LTO-style).
 
-        Internal symbols that clash across modules are renamed with a module
-        suffix.  The original module of each function is recorded in its
-        ``attributes["origin_module"]`` so that the fusion pass can still apply
-        its cross-module trampoline rule.
+        Symbol resolution follows the usual linker rules:
+
+        * declarations collapse onto the definition of the same name (or onto
+          one shared declaration if no module defines it);
+        * at most one non-internal definition of a name may exist — a clash
+          between two external definitions raises a duplicate-symbol error;
+        * internal definitions whose name is also claimed by another module
+          are renamed with a module suffix, and their call sites (which
+          reference the function object, not the name) follow the rename;
+        * same-named globals collapse only when value type, constancy and
+          initializer agree; otherwise the later ones are renamed with a
+          module suffix, mirroring the internal-function rename path.
+
+        The original module of each function is recorded in its
+        ``attributes["origin_module"]`` so that the fusion pass can still
+        apply its cross-module trampoline rule.  Like :meth:`clone`, linking
+        is one pass over the IR: a shared ``value_map`` carries every
+        resolution, so no post-hoc by-name operand rewriting is needed.
         """
         if len(self.modules) <= 1:
             linked_single = self.clone()
@@ -226,63 +279,86 @@ class Program:
                     f.attributes.setdefault("origin_module", module.name)
             return linked_single
 
-        source = self.clone()
         merged = Module(f"{self.name}.linked")
-        taken: Dict[str, str] = {}
+        value_map: Dict[int, Value] = {}
 
-        # resolve name clashes up front
-        rename: Dict[int, str] = {}
-        for module in source.modules:
+        # -- resolve function symbols up front ------------------------------------
+        claimants: Dict[str, List[Tuple[Module, Function]]] = {}
+        for module in self.modules:
             for f in module.functions.values():
-                name = f.name
-                if name in taken:
-                    if f.is_declaration or f.linkage == Linkage.EXTERNAL:
-                        continue
-                    if f.linkage == Linkage.INTERNAL:
-                        name = f"{f.name}.{module.name}"
-                    else:
-                        name = f"{f.name}.{module.name}"
-                rename[id(f)] = name
-                taken[name] = module.name
-            for g in module.globals.values():
-                if g.name in merged.globals:
+                claimants.setdefault(f.name, []).append((module, f))
+
+        # per name: which function keeps the base name (the "keeper"), and
+        # which internal definitions must be renamed
+        keepers: Dict[str, Function] = {}
+        renames: Dict[int, str] = {}
+        reserved = set(claimants)
+        for name, group in claimants.items():
+            definitions = [(m, f) for m, f in group if not f.is_declaration]
+            if not definitions:
+                keepers[name] = group[0][1]
+                continue
+            external_defs = [(m, f) for m, f in definitions
+                             if f.linkage != Linkage.INTERNAL]
+            if len(external_defs) > 1:
+                where = ", ".join(m.name for m, _ in external_defs)
+                raise ValueError(
+                    f"duplicate symbol {name!r}: defined with external "
+                    f"linkage in modules {where}")
+            keeper = external_defs[0][1] if external_defs else definitions[0][1]
+            keepers[name] = keeper
+            for m, f in definitions:
+                if f is keeper:
                     continue
+                new_name = _suffixed_name(reserved, name, m.name)
+                reserved.add(new_name)
+                renames[id(f)] = new_name
 
-        for module in source.modules:
+        # -- place globals and function shells in encounter order ------------------
+        placed_globals: Dict[str, GlobalVariable] = {}
+        for module in self.modules:
             for g in module.globals.values():
-                if g.name not in merged.globals:
-                    g.module = None
-                    merged.add_global(g)
-        for module in source.modules:
-            for f in module.functions.values():
-                new_name = rename.get(id(f), f.name)
-                if new_name in merged.functions:
-                    existing = merged.functions[new_name]
-                    if existing.is_declaration and not f.is_declaration:
-                        # replace declaration with definition
-                        merged.remove_function(new_name)
-                    else:
-                        continue
-                f.name = new_name
-                f.attributes.setdefault("origin_module", module.name)
-                f.module = None
-                merged.add_function(f)
+                first = placed_globals.get(g.name)
+                if first is not None and _globals_equivalent(first, g):
+                    value_map[id(g)] = merged.globals[first.name]
+                    continue
+                if first is None:
+                    name = g.name
+                    placed_globals[name] = g
+                else:
+                    name = _suffixed_name(merged.globals, g.name, module.name)
+                new_g = _clone_global(g, name)
+                merged.add_global(new_g)
+                value_map[id(g)] = new_g
 
-        # rewrite operand references so duplicate declarations / globals collapse
-        # onto the surviving definition
-        by_name = merged.functions
-        globals_by_name = merged.globals
-        for f in merged.functions.values():
-            for inst in list(f.instructions()):
-                for i, op in enumerate(inst.operands):
-                    if isinstance(op, Function):
-                        resolved = by_name.get(op.name)
-                        if resolved is not None and resolved is not op:
-                            inst.operands[i] = resolved
-                    elif isinstance(op, GlobalVariable):
-                        resolved_g = globals_by_name.get(op.name)
-                        if resolved_g is not None and resolved_g is not op:
-                            inst.operands[i] = resolved_g
+        definition_shells: List[Tuple[Function, Function]] = []
+        for module in self.modules:
+            for f in module.functions.values():
+                keeper = keepers[f.name]
+                if f.is_declaration:
+                    if f is keeper:
+                        shell = _clone_function_shell(f)
+                        shell.attributes.setdefault("origin_module", module.name)
+                        merged.add_function(shell)
+                    continue
+                shell = _clone_function_shell(f, renames.get(id(f), f.name))
+                shell.attributes.setdefault("origin_module", module.name)
+                merged.add_function(shell)
+                _map_function(f, shell, value_map)
+                definition_shells.append((f, shell))
+        # declarations resolve to whatever claimed their name, after every
+        # shell exists (the keeper definition may sit in a later module)
+        for module in self.modules:
+            for f in module.functions.values():
+                if f.is_declaration:
+                    keeper = keepers[f.name]
+                    target = (value_map[id(keeper)] if id(keeper) in value_map
+                              else merged.functions[keeper.name])
+                    value_map[id(f)] = target
+
+        # -- clone bodies through the shared value map ------------------------------
+        for source, shell in definition_shells:
+            clone_function_body(source, shell, value_map)
 
         linked = Program(self.name, [merged], entry=self.entry)
         linked.metadata = dict(self.metadata)

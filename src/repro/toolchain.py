@@ -40,6 +40,9 @@ class KhaosVariant:
     def obfuscate(self, program: Program, verify: bool = True) -> ObfuscationResult:
         return self._khaos.obfuscate(program, verify=verify)
 
+    def cache_key(self) -> tuple:
+        return self._khaos.cache_key()
+
 
 def obfuscator_for(label: str, seed: int = 0x5EED,
                    flatten_ratio: float = 0.1):

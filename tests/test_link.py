@@ -1,0 +1,241 @@
+"""Multi-module linking edge cases: symbol resolution, renames, globals."""
+
+import pytest
+
+from repro.ir import (FunctionType, GlobalVariable, IRBuilder, Linkage,
+                      Module, Program, assert_valid, create_function, I64)
+from repro.vm import run_program
+
+
+def _const_function(module, name, value, linkage=Linkage.INTERNAL):
+    f = create_function(module, name, I64, [], linkage=linkage)
+    IRBuilder(f.entry_block).ret(value)
+    return f
+
+
+def _global_reader(module, fname, gvar, linkage=Linkage.EXPORTED):
+    f = create_function(module, fname, I64, [], linkage=linkage)
+    b = IRBuilder(f.entry_block)
+    b.ret(b.load(gvar))
+    return f
+
+
+class TestGlobalLinking:
+    def test_identical_globals_collapse(self):
+        first = Module("first")
+        g1 = first.add_global(GlobalVariable("shared", I64, initializer=7))
+        _global_reader(first, "read_first", g1)
+        second = Module("second")
+        g2 = second.add_global(GlobalVariable("shared", I64, initializer=7))
+        _global_reader(second, "read_second", g2)
+        main_mod = Module("mainmod")
+        _const_function(main_mod, "main", 0)
+
+        linked = Program("p", [first, second, main_mod]).link()
+        merged = linked.modules[0]
+        assert list(merged.globals) == ["shared"]
+        assert_valid(linked)
+
+    def test_clashing_globals_renamed_not_collapsed(self):
+        """Same-named globals with different initializers must not alias."""
+        first = Module("first")
+        g1 = first.add_global(GlobalVariable("cfg", I64, initializer=10))
+        _global_reader(first, "read_first", g1)
+        second = Module("second")
+        g2 = second.add_global(GlobalVariable("cfg", I64, initializer=99))
+        _global_reader(second, "read_second", g2)
+        main_mod = Module("mainmod")
+        main = create_function(main_mod, "main", I64, [])
+        b = IRBuilder(main.entry_block)
+        b.ret(b.sub(b.call(second.get_function("read_second"), []),
+                    b.call(first.get_function("read_first"), [])))
+
+        linked = Program("p", [first, second, main_mod]).link()
+        merged = linked.modules[0]
+        assert len(merged.globals) == 2
+        assert "cfg" in merged.globals
+        assert "cfg.second" in merged.globals
+        assert merged.globals["cfg"].initializer == 10
+        assert merged.globals["cfg.second"].initializer == 99
+        assert_valid(linked)
+        # each reader still sees its own module's value: 99 - 10
+        assert run_program(linked).exit_value == 89
+
+    def test_differing_constancy_is_a_clash(self):
+        first = Module("first")
+        first.add_global(GlobalVariable("c", I64, initializer=1, constant=True))
+        _const_function(first, "f1", 0, linkage=Linkage.EXPORTED)
+        second = Module("second")
+        second.add_global(GlobalVariable("c", I64, initializer=1))
+        _const_function(second, "main", 0)
+        linked = Program("p", [first, second]).link()
+        assert len(linked.modules[0].globals) == 2
+
+
+class TestFunctionSymbolResolution:
+    def test_duplicate_external_definitions_raise(self):
+        first = Module("first")
+        _const_function(first, "api", 1, linkage=Linkage.EXPORTED)
+        second = Module("second")
+        _const_function(second, "api", 2, linkage=Linkage.EXPORTED)
+        with pytest.raises(ValueError, match="duplicate symbol 'api'"):
+            Program("p", [first, second]).link()
+
+    def test_internal_clash_renamed_with_module_suffix(self):
+        first = Module("first")
+        _const_function(first, "util", 1)
+        second = Module("second")
+        _const_function(second, "util", 2)
+        main_mod = Module("mainmod")
+        _const_function(main_mod, "main", 0)
+        linked = Program("p", [first, second, main_mod]).link()
+        names = {f.name for f in linked.defined_functions()}
+        assert "util" in names
+        assert "util.second" in names
+
+    def test_renamed_internal_call_sites_follow_the_rename(self):
+        """Callers of a renamed internal must reach their own module's copy."""
+        first = Module("first")
+        u1 = _const_function(first, "util", 11)
+        caller1 = create_function(first, "caller_first", I64, [],
+                                  linkage=Linkage.EXPORTED)
+        b1 = IRBuilder(caller1.entry_block)
+        b1.ret(b1.call(u1, []))
+
+        second = Module("second")
+        u2 = _const_function(second, "util", 22)
+        caller2 = create_function(second, "caller_second", I64, [],
+                                  linkage=Linkage.EXPORTED)
+        b2 = IRBuilder(caller2.entry_block)
+        b2.ret(b2.call(u2, []))
+
+        main_mod = Module("mainmod")
+        main = create_function(main_mod, "main", I64, [])
+        bm = IRBuilder(main.entry_block)
+        bm.ret(bm.add(bm.call(caller1, []), bm.call(caller2, [])))
+
+        linked = Program("p", [first, second, main_mod]).link()
+        assert_valid(linked)
+        assert run_program(linked).exit_value == 33
+        merged = linked.modules[0]
+        renamed = merged.get_function("util.second")
+        assert renamed is not None
+        assert renamed.attributes["origin_module"] == "second"
+
+    def test_exported_definition_keeps_name_over_internal(self):
+        first = Module("first")
+        _const_function(first, "work", 1)  # internal, encountered first
+        second = Module("second")
+        _const_function(second, "work", 2, linkage=Linkage.EXPORTED)
+        main_mod = Module("mainmod")
+        _const_function(main_mod, "main", 0)
+        linked = Program("p", [first, second, main_mod]).link()
+        merged = linked.modules[0]
+        assert merged.get_function("work").linkage == Linkage.EXPORTED
+        assert merged.get_function("work.first").linkage == Linkage.INTERNAL
+
+    def test_declaration_binds_to_later_definition(self):
+        """A module calling through a declaration links to the real definition."""
+        app = Module("app")
+        helper_decl = app.declare_function("helper", FunctionType(I64, [I64]))
+        main = create_function(app, "main", I64, [])
+        b = IRBuilder(main.entry_block)
+        b.ret(b.call(helper_decl, [40]))
+
+        lib = Module("lib")
+        helper = create_function(lib, "helper", I64, [I64],
+                                 linkage=Linkage.EXPORTED)
+        hb = IRBuilder(helper.entry_block)
+        hb.ret(hb.add(helper.args[0], 2))
+
+        linked = Program("p", [app, lib]).link()  # declaration comes FIRST
+        merged = linked.modules[0]
+        assert not merged.get_function("helper").is_declaration
+        assert merged.get_function("helper").attributes["origin_module"] == "lib"
+        assert_valid(linked)
+        assert run_program(linked).exit_value == 42
+
+    def test_pure_declarations_collapse_to_one(self):
+        first = Module("first")
+        first.declare_function("putint", FunctionType(I64, [I64]))
+        second = Module("second")
+        second.declare_function("putint", FunctionType(I64, [I64]))
+        _const_function(second, "main", 0)
+        linked = Program("p", [first, second]).link()
+        merged = linked.modules[0]
+        assert merged.get_function("putint").is_declaration
+        assert sum(1 for f in merged.functions.values()
+                   if f.name.startswith("putint")) == 1
+
+    def test_link_does_not_mutate_the_source_program(self):
+        first = Module("first")
+        _const_function(first, "util", 1)
+        second = Module("second")
+        _const_function(second, "util", 2)
+        program = Program("p", [first, second])
+        before = [(m.name, sorted(m.functions)) for m in program.modules]
+        program.link()
+        after = [(m.name, sorted(m.functions)) for m in program.modules]
+        assert before == after
+        assert first.get_function("util").module is first
+
+
+class TestModuleAPIGuards:
+    def test_declare_function_rejects_type_mismatch(self):
+        module = Module("m")
+        module.declare_function("ext", FunctionType(I64, [I64]))
+        with pytest.raises(TypeError, match="re-declared"):
+            module.declare_function("ext", FunctionType(I64, [I64, I64]))
+
+    def test_declare_function_idempotent_on_matching_type(self):
+        module = Module("m")
+        first = module.declare_function("ext", FunctionType(I64, [I64]))
+        second = module.declare_function("ext", FunctionType(I64, [I64]))
+        assert first is second
+
+    def test_remove_function_missing_raises_clear_keyerror(self):
+        module = Module("m")
+        with pytest.raises(KeyError, match="no function named 'nope'"):
+            module.remove_function("nope")
+
+    def test_remove_function_detaches(self):
+        module = Module("m")
+        f = _const_function(module, "f", 1)
+        module.remove_function("f")
+        assert f.module is None
+        assert module.get_function("f") is None
+
+
+class TestOnePassCloneAndLink:
+    def test_multi_module_clone_never_aliases_the_source(self):
+        from repro.workloads.suites import spec2006_programs
+        program = spec2006_programs()[0].build()
+        assert len(program.modules) > 1
+        clone = program.clone()
+        source_objects = {id(f) for m in program.modules
+                          for f in m.functions.values()}
+        source_objects |= {id(g) for m in program.modules
+                           for g in m.globals.values()}
+        for module in clone.modules:
+            for f in module.functions.values():
+                for inst in f.instructions():
+                    for op in inst.operands:
+                        assert id(op) not in source_objects, (
+                            f"clone of @{f.name} still references a source "
+                            f"program object: {op!r}")
+
+    def test_multi_module_clone_preserves_behaviour(self):
+        from repro.workloads.suites import spec2006_programs
+        program = spec2006_programs()[1].build()
+        original = run_program(program).observable()
+        assert run_program(program.clone()).observable() == original
+
+    def test_link_preserves_behaviour_on_workloads(self):
+        from repro.workloads.suites import coreutils_programs
+        for workload in coreutils_programs()[:2]:
+            program = workload.build()
+            original = run_program(program).observable()
+            linked = program.link()
+            assert len(linked.modules) == 1
+            assert_valid(linked)
+            assert run_program(linked).observable() == original
