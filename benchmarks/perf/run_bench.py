@@ -22,7 +22,15 @@ can diff the perf trajectory.  Tracked metrics:
   one-pass clone/link);
 * **variant_cache** — cold-vs-warm build comparison plus the figure-8 reuse
   check: after the overhead loop has populated the cache, a
-  figure-8-style precision run must hit it (nonzero ``fig8.hit_rate``).
+  figure-8-style precision run must hit it (nonzero ``fig8.hit_rate``);
+* **fig8_diff_phase** — the diffing phase of the figure-8 precision matrix
+  against a warm variant cache: the ``FeatureIndex`` fast path vs the legacy
+  per-diff extraction (``REPRO_DIFF_FEATURES=legacy``) and the process
+  executor at ``jobs=2``; both alternates are asserted row-identical to the
+  indexed serial run.
+
+Set ``REPRO_VARIANT_CACHE_DIR`` to also exercise the disk-persisted variant
+cache (save → reload round trip; adds a ``disk_cache`` section).
 
 All workloads are deterministic (profile-seeded), so the only
 run-to-run variance is machine noise; every timing is a best-of-``reps``.
@@ -37,12 +45,15 @@ import gc
 import json
 import os
 import sys
+import tempfile
 import time
 from typing import Callable, Dict, List
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
 
-from repro.core.variant_cache import VariantCache      # noqa: E402
+from repro.core.variant_cache import (VariantCache,     # noqa: E402
+                                      cache_file_path)
+from repro.diffing.index import clear_index_cache       # noqa: E402
 from repro.evaluation.overhead import measure_overhead  # noqa: E402
 from repro.evaluation.precision import measure_precision  # noqa: E402
 from repro.opt.pipelines import optimize_program        # noqa: E402
@@ -56,7 +67,8 @@ MEASURE_LABELS = ("fission", "fufi.ori")
 
 #: Keys every result file must contain (checked by --smoke).
 REQUIRED_KEYS = ("schema", "config", "vm", "fig6_measure_loop",
-                 "fig6_end_to_end", "pipeline", "variant_cache")
+                 "fig6_end_to_end", "pipeline", "variant_cache",
+                 "fig8_diff_phase")
 
 
 def best_of(fn: Callable[[], object], reps: int) -> float:
@@ -194,6 +206,107 @@ def bench_variant_cache(programs, reps: int) -> Dict[str, object]:
     }
 
 
+def bench_fig8_diff_phase(programs, reps: int) -> Dict[str, object]:
+    """The diffing phase of figure 8 (variants already built and cached).
+
+    Compares the FeatureIndex fast path against the legacy per-diff
+    extraction and the process executor at ``jobs=2``; the three reports
+    must be row-identical (``identical`` — a structural check, not a timing).
+    """
+    cache = VariantCache()
+    labels = MEASURE_LABELS
+    # pin the feature path per measurement (and restore any ambient value at
+    # the end) so the legacy/indexed columns never mislabel each other
+    previous_features = os.environ.get("REPRO_DIFF_FEATURES")
+
+    def run_with(features: str):
+        os.environ["REPRO_DIFF_FEATURES"] = features
+        return measure_precision(programs, labels=labels, cache=cache)
+
+    try:
+        reference = run_with("indexed")
+        indexed_s = best_of(lambda: run_with("indexed"), reps)
+        legacy_report = run_with("legacy")
+        legacy_s = best_of(lambda: run_with("legacy"), max(1, reps // 2))
+
+        os.environ["REPRO_DIFF_FEATURES"] = "indexed"
+        # hand the executor workers the already-built variants through a
+        # temporary disk cache, so jobs2_s times the diff phase + pool
+        # overhead like the other columns, not variant rebuilding
+        with tempfile.TemporaryDirectory() as tmpdir:
+            cache.save(cache_file_path(tmpdir))
+            previous_dir = os.environ.get("REPRO_VARIANT_CACHE_DIR")
+            os.environ["REPRO_VARIANT_CACHE_DIR"] = tmpdir
+            try:
+                gc.collect()
+                start = time.perf_counter()
+                parallel_report = measure_precision(programs, labels=labels,
+                                                    jobs=2)
+                jobs2_s = time.perf_counter() - start
+            finally:
+                if previous_dir is None:
+                    os.environ.pop("REPRO_VARIANT_CACHE_DIR", None)
+                else:
+                    os.environ["REPRO_VARIANT_CACHE_DIR"] = previous_dir
+
+        # a cold run re-featurizes every binary once (the indexed timing
+        # above amortises the index across reps, like the figure drivers do)
+        clear_index_cache()
+        cold_s = best_of(
+            lambda: (clear_index_cache(), run_with("indexed")),
+            max(1, reps // 2))
+    finally:
+        if previous_features is None:
+            os.environ.pop("REPRO_DIFF_FEATURES", None)
+        else:
+            os.environ["REPRO_DIFF_FEATURES"] = previous_features
+
+    return {
+        "programs": [wp.name for wp in programs],
+        "labels": list(labels),
+        "rows": len(reference.rows),
+        "legacy_s": round(legacy_s, 4),
+        "indexed_s": round(indexed_s, 4),
+        "indexed_cold_s": round(cold_s, 4),
+        "jobs2_s": round(jobs2_s, 4),
+        "speedup": round(legacy_s / indexed_s, 2) if indexed_s else None,
+        "identical": {
+            "legacy": legacy_report.rows == reference.rows,
+            "jobs2": parallel_report.rows == reference.rows,
+        },
+    }
+
+
+def bench_disk_cache(programs) -> Dict[str, object]:
+    """Save → reload round trip of the variant cache (REPRO_VARIANT_CACHE_DIR)."""
+    directory = os.environ["REPRO_VARIANT_CACHE_DIR"]
+    path = cache_file_path(directory)
+    cache = VariantCache()
+    if os.path.exists(path):
+        try:
+            cache = VariantCache.load(path)
+        except Exception as error:
+            # e.g. a file written before a version/key-schema bump: start
+            # fresh (builds are deterministic) instead of killing the run
+            print(f"disk cache: ignoring incompatible {path}: {error}",
+                  file=sys.stderr)
+    loaded_entries = len(cache)
+    gc.collect()
+    start = time.perf_counter()
+    measure_overhead(programs, labels=MEASURE_LABELS, cache=cache)
+    build_s = time.perf_counter() - start
+    cache.save(path)
+    reloaded = VariantCache.load(path)
+    return {
+        "path": path,
+        "loaded_entries": loaded_entries,
+        "saved_entries": len(cache),
+        "round_trip_entries": len(reloaded),
+        "round_trip_ok": len(reloaded) == len(cache) and len(reloaded) > 0,
+        "build_s": round(build_s, 4),
+    }
+
+
 def check_results(results: Dict[str, object]) -> List[str]:
     """Structural (timing-independent) sanity checks for --smoke."""
     problems = []
@@ -206,6 +319,19 @@ def check_results(results: Dict[str, object]) -> List[str]:
     e2e = results.get("fig6_end_to_end", {})
     if e2e and e2e.get("cache", {}).get("hits", 0) <= 0:
         problems.append("fig6 end-to-end loop never hit the variant cache")
+    diff_phase = results.get("fig8_diff_phase", {})
+    if diff_phase:
+        identical = diff_phase.get("identical", {})
+        if not identical.get("legacy", False):
+            problems.append("legacy diff path diverged from the FeatureIndex path")
+        if not identical.get("jobs2", False):
+            problems.append("jobs=2 executor diverged from the serial run")
+    if os.environ.get("REPRO_VARIANT_CACHE_DIR"):
+        disk = results.get("disk_cache")
+        if not disk:
+            problems.append("REPRO_VARIANT_CACHE_DIR set but no disk_cache section")
+        elif not disk.get("round_trip_ok", False):
+            problems.append("variant cache disk round trip failed")
     return problems
 
 
@@ -234,9 +360,11 @@ def main(argv=None) -> int:
         reps = 5
 
     results = {
-        "schema": 2,
+        "schema": 3,
         "config": {"quick": bool(args.quick or args.smoke), "reps": reps,
-                   "python": sys.version.split()[0]},
+                   "python": sys.version.split()[0],
+                   "variant_cache_dir":
+                       os.environ.get("REPRO_VARIANT_CACHE_DIR") or None},
         "vm": bench_vm(vm_programs, reps),
         "fig6_measure_loop": bench_fig6_measure_loop(loop_programs, reps),
         "fig6_end_to_end": bench_fig6_end_to_end(loop_programs,
@@ -244,7 +372,11 @@ def main(argv=None) -> int:
         "pipeline": bench_pipeline(loop_programs, max(2, reps // 2)),
         "variant_cache": bench_variant_cache(loop_programs,
                                              max(1, reps // 2)),
+        "fig8_diff_phase": bench_fig8_diff_phase(loop_programs,
+                                                 max(1, reps // 2)),
     }
+    if os.environ.get("REPRO_VARIANT_CACHE_DIR"):
+        results["disk_cache"] = bench_disk_cache(loop_programs)
 
     with open(args.out, "w") as fh:
         json.dump(results, fh, indent=2, sort_keys=True)
@@ -262,6 +394,14 @@ def main(argv=None) -> int:
     vc = results["variant_cache"]
     print(f"variant cache:     cold {vc['cold_s']}s -> warm {vc['warm_s']}s "
           f"({vc['build_speedup']}x); fig8 hit rate {vc['fig8']['hit_rate']}")
+    dp = results["fig8_diff_phase"]
+    print(f"fig8 diff phase:   legacy {dp['legacy_s']}s -> indexed "
+          f"{dp['indexed_s']}s ({dp['speedup']}x, cold {dp['indexed_cold_s']}s, "
+          f"jobs=2 {dp['jobs2_s']}s, identical={dp['identical']})")
+    if "disk_cache" in results:
+        dc = results["disk_cache"]
+        print(f"disk cache:        {dc['saved_entries']} entries -> "
+              f"{dc['path']} (round trip ok: {dc['round_trip_ok']})")
     print(f"wrote {args.out}")
 
     if args.smoke:

@@ -6,6 +6,9 @@
 # --smoke (CI mode) runs the minimal matrix into a temp directory and asserts
 # the harness still produces a structurally valid BENCH_results.json — no
 # timing-sensitive assertions, and the tracked results file is not touched.
+# The smoke run also exercises the parallel experiment executor (the harness
+# re-runs the figure-8 diff phase at jobs=2 and asserts row-identity) and the
+# disk-persisted variant cache (REPRO_VARIANT_CACHE_DIR round trip).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,12 +19,19 @@ if [[ "${1:-}" == "--smoke" ]]; then
   tmpdir="$(mktemp -d)"
   trap 'rm -rf "$tmpdir"' EXIT
   out="$tmpdir/BENCH_results.json"
+  export REPRO_VARIANT_CACHE_DIR="$tmpdir/variant-cache"
+  mkdir -p "$REPRO_VARIANT_CACHE_DIR"
   python benchmarks/perf/run_bench.py --smoke --out "$out" "$@"
   if [[ ! -s "$out" ]]; then
     echo "smoke: $out was not produced" >&2
     exit 1
   fi
+  if [[ ! -s "$REPRO_VARIANT_CACHE_DIR/variants.pkl" ]]; then
+    echo "smoke: variant cache was not persisted to disk" >&2
+    exit 1
+  fi
   echo "smoke: benchmark harness produced BENCH_results.json"
+  echo "smoke: variant cache persisted and round-tripped"
   exit 0
 fi
 

@@ -21,11 +21,24 @@ mutate the IR in place.  (The evaluation drivers only ever execute and diff.)
 from __future__ import annotations
 
 import dataclasses
+import os
+import pickle
 from collections import OrderedDict
 from typing import Callable, Dict, Optional, Tuple
 
 #: Bump when the build pipeline changes incompatibly (key schema version).
 _KEY_SCHEMA = 1
+
+#: On-disk payload format version (bump when save()'s layout changes).
+CACHE_FILE_VERSION = 1
+
+#: File name used inside a ``REPRO_VARIANT_CACHE_DIR`` directory.
+CACHE_FILE_NAME = "variants.pkl"
+
+
+def cache_file_path(directory: str) -> str:
+    """The cache file inside a ``REPRO_VARIANT_CACHE_DIR`` directory."""
+    return os.path.join(directory, CACHE_FILE_NAME)
 
 
 def _freeze(value) -> object:
@@ -41,6 +54,20 @@ def _freeze(value) -> object:
     return value
 
 
+def _value_based(frozen) -> bool:
+    """True when ``frozen`` compares by value (safe inside a cache key).
+
+    Arbitrary objects hash by identity, so embedding them in a key would
+    defeat cache sharing between logically identical configurations — and
+    never match again after a disk round trip.
+    """
+    if frozen is None or isinstance(frozen, (str, bytes, int, float, bool)):
+        return True
+    if isinstance(frozen, tuple):
+        return all(_value_based(item) for item in frozen)
+    return False
+
+
 def config_cache_key(obfuscator_or_label) -> object:
     """The configuration component of a variant key.
 
@@ -53,8 +80,24 @@ def config_cache_key(obfuscator_or_label) -> object:
     cache_key = getattr(obfuscator_or_label, "cache_key", None)
     if callable(cache_key):
         return cache_key()
+    # fallback: freeze the public configuration too, so two instances with
+    # the same label but different knobs never collide
+    config = []
+    for name in sorted(getattr(obfuscator_or_label, "__dict__", {})):
+        if name.startswith("_") or name == "label":
+            continue
+        value = getattr(obfuscator_or_label, name)
+        if callable(value):
+            continue
+        frozen = _freeze(value)
+        if not _value_based(frozen):
+            # identity-hashed objects would never match across instances or
+            # a disk round trip; fall back to their (stable-enough) repr
+            frozen = repr(value)
+        config.append((name, frozen))
     return (type(obfuscator_or_label).__name__,
-            getattr(obfuscator_or_label, "label", "?"))
+            getattr(obfuscator_or_label, "label", "?"),
+            tuple(config))
 
 
 def variant_key(workload, obfuscator_or_label, options=None) -> Tuple:
@@ -125,3 +168,51 @@ class VariantCache:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+
+    # -- disk persistence -------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Persist the cached artifacts to ``path`` as a version-stamped pickle.
+
+        Written atomically (temp file + rename) so concurrent readers — e.g.
+        executor workers pre-loading from ``REPRO_VARIANT_CACHE_DIR`` — never
+        observe a half-written file.  Hit/miss counters are *not* persisted;
+        they describe one process's lookups, not the artifacts.
+        """
+        payload = {
+            "version": CACHE_FILE_VERSION,
+            "key_schema": _KEY_SCHEMA,
+            "entries": list(self._entries.items()),
+        }
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        with open(tmp_path, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_path, path)
+
+    @classmethod
+    def load(cls, path: str,
+             max_entries: Optional[int] = None) -> "VariantCache":
+        """Load a cache previously written by :meth:`save`.
+
+        Raises :class:`ValueError` when the file was written with a different
+        payload format or variant-key schema — a stale cache must never serve
+        artifacts built by an incompatible pipeline.
+        """
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        if (not isinstance(payload, dict)
+                or payload.get("version") != CACHE_FILE_VERSION
+                or payload.get("key_schema") != _KEY_SCHEMA):
+            raise ValueError(
+                f"incompatible variant cache file {path!r} "
+                f"(want version={CACHE_FILE_VERSION}, key_schema={_KEY_SCHEMA})")
+        cache = cls(max_entries=max_entries)
+        for key, artifact in payload["entries"]:
+            cache._entries[key] = artifact
+            if (cache.max_entries is not None
+                    and len(cache._entries) > cache.max_entries):
+                cache._entries.popitem(last=False)
+        return cache

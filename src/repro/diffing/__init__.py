@@ -3,7 +3,9 @@
 from typing import Dict, List
 
 from .base import (BinaryDiffer, DiffResult, ToolInfo, escape_at_n,
-                   escape_ratio, precision_at_1)
+                   escape_ratio, precision_at_1, use_indexed_features)
+from .index import (FeatureIndex, clear_index_cache, feature_index,
+                    index_cache_size)
 from .bindiff import BinDiff
 from .vulseeker import VulSeeker
 from .asm2vec import Asm2Vec
@@ -30,6 +32,8 @@ def tool_table() -> List[Dict[str, str]]:
 
 __all__ = [
     "BinaryDiffer", "DiffResult", "ToolInfo", "escape_at_n", "escape_ratio",
-    "precision_at_1", "BinDiff", "VulSeeker", "Asm2Vec", "Safe", "DeepBinDiff",
+    "precision_at_1", "use_indexed_features", "FeatureIndex",
+    "clear_index_cache", "feature_index", "index_cache_size",
+    "BinDiff", "VulSeeker", "Asm2Vec", "Safe", "DeepBinDiff",
     "all_differs", "differ_by_name", "tool_table",
 ]

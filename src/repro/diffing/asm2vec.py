@@ -8,18 +8,24 @@ token-level lexical features (opcodes + operand shapes) gathered along CFG
 walks, aggregated into a per-function vector — while replacing the trained
 projection with deterministic hashed token vectors.  The tool uses neither
 symbols nor the call graph (Table 1).
+
+Per-function embeddings are pre-normalized and memoised on each binary's
+:class:`~repro.diffing.index.FeatureIndex` (the per-block bag embeddings are
+shared with DeepBinDiff); without an index every embedding is re-extracted
+per diff — the legacy reference path.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..backend.binary import Binary, BinaryFunction
 from ..utils import stable_hash
 from .base import BinaryDiffer, DiffResult, ToolInfo
-from .features import (EMBEDDING_DIM, add_scaled, block_tokens, embed_tokens,
-                       normalised_similarity)
+from .features import (EMBEDDING_DIM, NormalizedVector, add_scaled,
+                       embed_block, vector_similarity)
+from .index import FeatureIndex
 
 
 class Asm2Vec(BinaryDiffer):
@@ -32,45 +38,62 @@ class Asm2Vec(BinaryDiffer):
         self.walk_length = walk_length
         self.dim = dim
 
-    def _random_walk_tokens(self, function: BinaryFunction,
+    def _random_walk_labels(self, function: BinaryFunction,
                             rng: random.Random) -> List[str]:
         blocks = function.block_map()
         if not function.blocks:
             return []
-        tokens: List[str] = []
+        labels: List[str] = []
         current = function.blocks[0].label
         for _ in range(self.walk_length):
             block = blocks.get(current)
             if block is None:
                 break
-            tokens.extend(block_tokens(block))
+            labels.append(block.label)
             if not block.successors:
                 break
             current = rng.choice(block.successors)
-        return tokens
+        return labels
 
-    def _function_embedding(self, function: BinaryFunction) -> List[float]:
+    def _function_embedding(self, function: BinaryFunction,
+                            index: Optional[FeatureIndex]) -> List[float]:
+        if index is not None:
+            bags = index.block_bag_embeddings(function, self.dim)
+        else:
+            bags = {block.label: embed_block(block, self.dim)
+                    for block in function.blocks}
         rng = random.Random(stable_hash("asm2vec", function.name,
                                         function.instruction_count))
         embedding = [0.0] * self.dim
         # lexical term: every block contributes once
         for block in function.blocks:
-            add_scaled(embedding, embed_tokens(block_tokens(block), self.dim), 1.0)
+            add_scaled(embedding, bags[block.label], 1.0)
         # random-walk term: emphasises tokens on frequently-walked paths
+        # (accumulated from the per-block bags rather than re-embedding the
+        # walked token stream — the walked blocks' tokens all land at 0.5)
         for _ in range(self.walks):
-            walk = self._random_walk_tokens(function, rng)
-            add_scaled(embedding, embed_tokens(walk, self.dim), 0.5)
+            for label in self._random_walk_labels(function, rng):
+                add_scaled(embedding, bags[label], 0.5)
         return embedding
 
-    def diff(self, original: Binary, obfuscated: Binary) -> DiffResult:
-        original_embeddings = {f.name: self._function_embedding(f)
-                               for f in original.functions}
-        obfuscated_embeddings = {f.name: self._function_embedding(f)
-                                 for f in obfuscated.functions}
+    def _embeddings(self, binary: Binary,
+                    index: Optional[FeatureIndex]) -> Dict[str, NormalizedVector]:
+        if index is not None:
+            return index.function_embeddings(
+                ("asm2vec", self.walks, self.walk_length, self.dim),
+                lambda f: self._function_embedding(f, index))
+        return {f.name: NormalizedVector(self._function_embedding(f, None))
+                for f in binary.functions}
+
+    def _diff(self, original: Binary, obfuscated: Binary,
+              original_index: Optional[FeatureIndex],
+              obfuscated_index: Optional[FeatureIndex]) -> DiffResult:
+        original_embeddings = self._embeddings(original, original_index)
+        obfuscated_embeddings = self._embeddings(obfuscated, obfuscated_index)
 
         def similarity(a: BinaryFunction, b: BinaryFunction) -> float:
-            return normalised_similarity(original_embeddings[a.name],
-                                         obfuscated_embeddings[b.name])
+            return vector_similarity(original_embeddings[a.name],
+                                     obfuscated_embeddings[b.name])
 
         matches = self.rank_by_similarity(original, obfuscated, similarity)
         score = self.whole_binary_score(matches, original, obfuscated)

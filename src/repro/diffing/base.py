@@ -16,14 +16,27 @@ binary.  The evaluation then applies the paper's metrics:
 
 from __future__ import annotations
 
+import heapq
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..backend.binary import Binary, BinaryFunction
 from ..core.provenance import ProvenanceMap
+from .index import FeatureIndex, feature_index
 
 
 RankedCandidates = List[Tuple[str, float]]
+
+
+def use_indexed_features() -> bool:
+    """False when ``REPRO_DIFF_FEATURES=legacy`` selects per-diff extraction.
+
+    The legacy path re-extracts every feature on every ``diff()`` call — it
+    is the differential reference for the :class:`~repro.diffing.index.FeatureIndex`
+    fast path and must produce bit-identical results.
+    """
+    return os.environ.get("REPRO_DIFF_FEATURES", "indexed").lower() != "legacy"
 
 
 @dataclass
@@ -77,15 +90,36 @@ class DiffResult:
 
 
 class BinaryDiffer:
-    """Base class of the five re-implemented diffing tools."""
+    """Base class of the five re-implemented diffing tools.
+
+    ``diff()`` resolves the feature source and dispatches to ``_diff``: by
+    default each binary's features come from its memoised
+    :class:`~repro.diffing.index.FeatureIndex` (extracted once, reused across
+    every diff of that binary); setting ``use_index = False`` on an instance
+    — or ``REPRO_DIFF_FEATURES=legacy`` in the environment — re-extracts per
+    call, which is the differential reference path.
+    """
 
     info: ToolInfo
+
+    #: Tri-state: None follows REPRO_DIFF_FEATURES, True/False force a path.
+    use_index: Optional[bool] = None
 
     @property
     def name(self) -> str:
         return self.info.name
 
     def diff(self, original: Binary, obfuscated: Binary) -> DiffResult:
+        indexed = self.use_index if self.use_index is not None \
+            else use_indexed_features()
+        if indexed:
+            return self._diff(original, obfuscated,
+                              feature_index(original), feature_index(obfuscated))
+        return self._diff(original, obfuscated, None, None)
+
+    def _diff(self, original: Binary, obfuscated: Binary,
+              original_index: Optional[FeatureIndex],
+              obfuscated_index: Optional[FeatureIndex]) -> DiffResult:
         raise NotImplementedError
 
     # -- helpers shared by the concrete tools --------------------------------------
@@ -94,13 +128,19 @@ class BinaryDiffer:
     def rank_by_similarity(original: Binary, obfuscated: Binary,
                            similarity, max_candidates: int = 50
                            ) -> Dict[str, RankedCandidates]:
-        """Rank every obfuscated function for every original function."""
+        """Rank every obfuscated function for every original function.
+
+        Top-k selection via a heap instead of a full sort; ``nsmallest`` on
+        the ``(-score, name)`` key is documented to equal
+        ``sorted(...)[:k]``, so the candidate lists are bit-identical to the
+        previous full-sort implementation.
+        """
         matches: Dict[str, RankedCandidates] = {}
+        key = lambda pair: (-pair[1], pair[0])  # noqa: E731
         for source in original.functions:
             scored = [(target.name, similarity(source, target))
                       for target in obfuscated.functions]
-            scored.sort(key=lambda pair: (-pair[1], pair[0]))
-            matches[source.name] = scored[:max_candidates]
+            matches[source.name] = heapq.nsmallest(max_candidates, scored, key=key)
         return matches
 
     @staticmethod
@@ -143,13 +183,18 @@ def precision_at_1(result: DiffResult, provenance: ProvenanceMap,
     return correct / len(names)
 
 
-def escape_ratio(results: Sequence[DiffResult], provenance_by_result,
+def escape_ratio(results: Sequence[Tuple[DiffResult, ProvenanceMap]],
                  vulnerable_functions: Sequence[str], n: int) -> float:
-    """Fraction of vulnerable functions not correctly matched within the top n."""
+    """Fraction of vulnerable functions not correctly matched within the top n.
+
+    ``results`` pairs each :class:`DiffResult` with the provenance of its
+    obfuscated binary.  (An earlier version took a dict keyed on
+    ``id(result)`` — fragile once results are garbage-collected or shipped
+    across process boundaries, where ids are recycled or rewritten.)
+    """
     total = 0
     escaped = 0
-    for result in results:
-        provenance = provenance_by_result[id(result)]
+    for result, provenance in results:
         for function_name in vulnerable_functions:
             if function_name not in result.matches:
                 continue

@@ -8,15 +8,20 @@ the remaining candidates are ranked by structural similarity of the
 function-level statistics BinDiff's initial matching uses (basic blocks,
 control-flow edges, calls) plus a call-graph neighbourhood term (BinDiff is
 one of the two tools in Table 1 that does use the call graph).
+
+The per-function statistics and call-graph edges come from each binary's
+:class:`~repro.diffing.index.FeatureIndex` (extracted once per binary); when
+no index is given the tool re-extracts per diff — the legacy reference path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence, Set
 
 from ..backend.binary import Binary, BinaryFunction
 from .base import BinaryDiffer, DiffResult, ToolInfo
-from .features import structural_similarity
+from .features import function_numeric_features, structural_similarity_features
+from .index import FeatureIndex
 
 
 class BinDiff(BinaryDiffer):
@@ -28,11 +33,22 @@ class BinDiff(BinaryDiffer):
         self.name_weight = name_weight
         self.callgraph_weight = callgraph_weight
 
-    def diff(self, original: Binary, obfuscated: Binary) -> DiffResult:
-        original_callees = {f.name: original.callees_of(f.name)
-                            for f in original.functions}
-        obfuscated_callees = {f.name: obfuscated.callees_of(f.name)
-                              for f in obfuscated.functions}
+    @staticmethod
+    def _features_of(binary: Binary, index: Optional[FeatureIndex]):
+        if index is not None:
+            return index.structural_features(), index.callees()
+        structural = {f.name: function_numeric_features(f)
+                      for f in binary.functions}
+        callees = {f.name: binary.callees_of(f.name) for f in binary.functions}
+        return structural, callees
+
+    def _diff(self, original: Binary, obfuscated: Binary,
+              original_index: Optional[FeatureIndex],
+              obfuscated_index: Optional[FeatureIndex]) -> DiffResult:
+        original_struct, original_callees = self._features_of(original,
+                                                              original_index)
+        obfuscated_struct, obfuscated_callees = self._features_of(
+            obfuscated, obfuscated_index)
 
         def callgraph_similarity(a: BinaryFunction, b: BinaryFunction) -> float:
             callees_a = original_callees.get(a.name, set())
@@ -43,6 +59,10 @@ class BinDiff(BinaryDiffer):
             if not union:
                 return 1.0
             return len(callees_a & callees_b) / len(union)
+
+        def structural_similarity(a: BinaryFunction, b: BinaryFunction) -> float:
+            return structural_similarity_features(original_struct[a.name],
+                                                  obfuscated_struct[b.name])
 
         def similarity(a: BinaryFunction, b: BinaryFunction) -> float:
             structural = structural_similarity(a, b)

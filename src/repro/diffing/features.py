@@ -13,7 +13,9 @@ neighbourhood aggregation over the CFG.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence, Tuple
+from array import array
+from operator import add, mul
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..backend.binary import Binary, BinaryFunction
 from ..backend.isa import MachineBlock, MachineInstruction, instruction_category
@@ -92,22 +94,64 @@ def cached_token_vector(token: str, dim: int = EMBEDDING_DIM) -> List[float]:
 
 
 def embed_tokens(tokens: Sequence[str], dim: int = EMBEDDING_DIM,
-                 weights: Sequence[float] = None) -> List[float]:
-    """Weighted bag-of-tokens embedding."""
-    result = [0.0] * dim
+                 weights: Optional[Sequence[float]] = None) -> List[float]:
+    """Weighted bag-of-tokens embedding.
+
+    Summed column-wise over the transposed token vectors so the per-component
+    accumulation runs inside ``sum()`` rather than a Python-level loop; the
+    additions happen in the same (token) order, so the result is bit-identical
+    to naive accumulation into a zero vector.
+    """
     if not tokens:
-        return result
-    for index, token in enumerate(tokens):
-        weight = weights[index] if weights is not None else 1.0
-        vector = cached_token_vector(token, dim)
-        for i in range(dim):
-            result[i] += weight * vector[i]
-    return result
+        return [0.0] * dim
+    if weights is None:
+        vectors = [cached_token_vector(token, dim) for token in tokens]
+    else:
+        vectors = [[weight * x for x in cached_token_vector(token, dim)]
+                   for weight, token in zip(weights, tokens)]
+    return [sum(components) for components in zip(*vectors)]
 
 
 def add_scaled(target: List[float], source: Sequence[float], scale: float) -> None:
-    for i in range(len(target)):
-        target[i] += scale * source[i]
+    if len(target) != len(source):
+        # zip/map would silently stop at the shorter operand and shrink the
+        # target; a dimension mismatch must fail loudly instead
+        raise ValueError(f"dimension mismatch: {len(target)} vs {len(source)}")
+    if scale == 1.0:
+        # t + 1.0 * s == t + s bitwise; map(add, ...) runs at C speed
+        target[:] = map(add, target, source)
+    else:
+        target[:] = [t + scale * s for t, s in zip(target, source)]
+
+
+_INSTRUCTION_BAG_CACHE: Dict[Tuple, Tuple[float, ...]] = {}
+
+
+def instruction_bag(inst: MachineInstruction,
+                    dim: int = EMBEDDING_DIM) -> Tuple[float, ...]:
+    """The bag-of-tokens embedding of one instruction, cached by shape.
+
+    :func:`instruction_tokens` depends only on the opcode, the operand
+    *shapes* and whether the instruction is a direct call — so the cache is
+    keyed on shapes, not operand text ("$5" and "$7" share one entry), and a
+    handful of distinct shapes cover a whole binary.  Values are immutable
+    tuples, like the token-vector cache above.
+    """
+    key = (inst.opcode, tuple(operand_shape(op) for op in inst.operands),
+           inst.call_target is not None, dim)
+    bag = _INSTRUCTION_BAG_CACHE.get(key)
+    if bag is None:
+        bag = tuple(embed_tokens(instruction_tokens(inst), dim))
+        _INSTRUCTION_BAG_CACHE[key] = bag
+    return bag
+
+
+def embed_block(block: MachineBlock, dim: int = EMBEDDING_DIM) -> List[float]:
+    """Bag-of-tokens embedding of a block, summed from instruction bags."""
+    bags = [instruction_bag(inst, dim) for inst in block.instructions]
+    if not bags:
+        return [0.0] * dim
+    return [sum(components) for components in zip(*bags)]
 
 
 def cosine(a: Sequence[float], b: Sequence[float]) -> float:
@@ -122,6 +166,51 @@ def cosine(a: Sequence[float], b: Sequence[float]) -> float:
 def normalised_similarity(a: Sequence[float], b: Sequence[float]) -> float:
     """Cosine similarity squashed into [0, 1]."""
     return (cosine(a, b) + 1.0) / 2.0
+
+
+class NormalizedVector:
+    """An embedding stored pre-normalized, so cosine is a single dot product.
+
+    The norm is computed once at construction and divided out of the stored
+    ``array('d')`` components; :func:`vector_similarity` then needs neither
+    the two extra passes nor the per-pair ``sqrt`` of :func:`cosine`.  A zero
+    vector keeps its (all-zero) components and ``norm == 0.0`` so the
+    degenerate cases of :func:`cosine` are preserved exactly.
+    """
+
+    __slots__ = ("values", "norm")
+
+    def __init__(self, values: Sequence[float]):
+        norm = math.sqrt(sum(x * x for x in values))
+        self.norm = norm
+        if norm == 0.0:
+            self.values = array("d", values)
+        else:
+            self.values = array("d", [x / norm for x in values])
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __reduce__(self):
+        # Rebuild from the already-normalized components: the constructor
+        # re-derives norm 1.0 (or 0.0), keeping the unpickled copy identical.
+        return (_rebuild_normalized, (self.values.tobytes(), self.norm))
+
+
+def _rebuild_normalized(raw: bytes, norm: float) -> "NormalizedVector":
+    vector = NormalizedVector.__new__(NormalizedVector)
+    values = array("d")
+    values.frombytes(raw)
+    vector.values = values
+    vector.norm = norm
+    return vector
+
+
+def vector_similarity(a: NormalizedVector, b: NormalizedVector) -> float:
+    """:func:`normalised_similarity` over pre-normalized vectors (0..1)."""
+    if a.norm == 0.0 or b.norm == 0.0:
+        return 1.0 if a.norm == b.norm else 0.5
+    return (sum(map(mul, a.values, b.values)) + 1.0) / 2.0
 
 
 # -- numeric block / function features -------------------------------------------------------
@@ -159,15 +248,20 @@ def function_numeric_features(function: BinaryFunction) -> List[float]:
     ]
 
 
-def structural_similarity(a: BinaryFunction, b: BinaryFunction) -> float:
-    """Similarity of two functions from their structural statistics (0..1)."""
-    fa = function_numeric_features(a)
-    fb = function_numeric_features(b)
+def structural_similarity_features(fa: Sequence[float],
+                                   fb: Sequence[float]) -> float:
+    """Structural similarity over already-extracted feature vectors (0..1)."""
     score = 0.0
     for x, y in zip(fa, fb):
         hi = max(x, y)
         score += 1.0 if hi == 0 else min(x, y) / hi
     return score / len(fa)
+
+
+def structural_similarity(a: BinaryFunction, b: BinaryFunction) -> float:
+    """Similarity of two functions from their structural statistics (0..1)."""
+    return structural_similarity_features(function_numeric_features(a),
+                                          function_numeric_features(b))
 
 
 # -- graph-context aggregation ----------------------------------------------------------------

@@ -7,17 +7,23 @@ combined with their local bigram context, and weighted by a smooth positional
 attention profile that emphasises the middle of the function over the
 prologue/epilogue boilerplate.  No CFG, call-graph or symbol information is
 used (Table 1).
+
+Per-function embeddings are pre-normalized and memoised on each binary's
+:class:`~repro.diffing.index.FeatureIndex`; without an index every embedding
+is re-extracted per diff — the legacy reference path.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..backend.binary import Binary, BinaryFunction
 from .base import BinaryDiffer, DiffResult, ToolInfo
-from .features import (EMBEDDING_DIM, add_scaled, cached_token_vector,
-                       instruction_tokens, normalised_similarity)
+from .features import (EMBEDDING_DIM, NormalizedVector, add_scaled,
+                       cached_token_vector, instruction_bag,
+                       vector_similarity)
+from .index import FeatureIndex
 
 
 class Safe(BinaryDiffer):
@@ -36,29 +42,61 @@ class Safe(BinaryDiffer):
         phase = position / (length - 1)
         return 0.5 + 0.5 * math.sin(math.pi * phase)
 
-    def _function_embedding(self, function: BinaryFunction) -> List[float]:
-        instructions = function.instructions()[:self.max_instructions]
+    def _instruction_vectors(self, function: BinaryFunction,
+                             index: Optional[FeatureIndex]) -> List[List[float]]:
+        """One combined vector per instruction: token bag + 0.5 × bigram.
+
+        The attention weight scales whole instructions, so each instruction's
+        content can be pre-combined once (and cached on the index).  Only the
+        first ``max_instructions`` are embedded — like the original
+        sequence-truncating implementation — so the truncation bound is part
+        of the memo key.
+        """
+        def build() -> List[List[float]]:
+            vectors: List[List[float]] = []
+            previous_opcode = "<s>"
+            for inst in function.instructions()[:self.max_instructions]:
+                bag = instruction_bag(inst, self.dim)
+                bigram = f"{previous_opcode}->{inst.opcode}"
+                bigram_vector = cached_token_vector(bigram, self.dim)
+                vectors.append([b + 0.5 * g
+                                for b, g in zip(bag, bigram_vector)])
+                previous_opcode = inst.opcode
+            return vectors
+
+        if index is not None:
+            return index.memo(("safe_inst_vectors", function.name, self.dim,
+                               self.max_instructions), build)
+        return build()
+
+    def _function_embedding(self, function: BinaryFunction,
+                            index: Optional[FeatureIndex]) -> List[float]:
+        vectors = self._instruction_vectors(function, index)
         embedding = [0.0] * self.dim
-        length = len(instructions)
-        previous_opcode = "<s>"
-        for position, inst in enumerate(instructions):
-            weight = self._attention_weight(position, length)
-            for token in instruction_tokens(inst):
-                add_scaled(embedding, cached_token_vector(token, self.dim), weight)
-            bigram = f"{previous_opcode}->{inst.opcode}"
-            add_scaled(embedding, cached_token_vector(bigram, self.dim), 0.5 * weight)
-            previous_opcode = inst.opcode
+        length = len(vectors)
+        for position, combined in enumerate(vectors):
+            add_scaled(embedding, combined,
+                       self._attention_weight(position, length))
         return embedding
 
-    def diff(self, original: Binary, obfuscated: Binary) -> DiffResult:
-        original_embeddings = {f.name: self._function_embedding(f)
-                               for f in original.functions}
-        obfuscated_embeddings = {f.name: self._function_embedding(f)
-                                 for f in obfuscated.functions}
+    def _embeddings(self, binary: Binary,
+                    index: Optional[FeatureIndex]) -> Dict[str, NormalizedVector]:
+        if index is not None:
+            return index.function_embeddings(
+                ("safe", self.dim, self.max_instructions),
+                lambda f: self._function_embedding(f, index))
+        return {f.name: NormalizedVector(self._function_embedding(f, None))
+                for f in binary.functions}
+
+    def _diff(self, original: Binary, obfuscated: Binary,
+              original_index: Optional[FeatureIndex],
+              obfuscated_index: Optional[FeatureIndex]) -> DiffResult:
+        original_embeddings = self._embeddings(original, original_index)
+        obfuscated_embeddings = self._embeddings(obfuscated, obfuscated_index)
 
         def similarity(a: BinaryFunction, b: BinaryFunction) -> float:
-            return normalised_similarity(original_embeddings[a.name],
-                                         obfuscated_embeddings[b.name])
+            return vector_similarity(original_embeddings[a.name],
+                                     obfuscated_embeddings[b.name])
 
         matches = self.rank_by_similarity(original, obfuscated, similarity)
         score = self.whole_binary_score(matches, original, obfuscated)

@@ -7,16 +7,23 @@ control/data-flow structure with a structure2vec-like aggregation, and the
 function embedding is their sum.  Matching is cosine similarity between
 function embeddings.  Per Table 1 the tool is time- and memory-hungry and
 does not use the call graph or symbols.
+
+Per-function embeddings are pre-normalized and memoised on each binary's
+:class:`~repro.diffing.index.FeatureIndex` (numeric block features and the
+CFG propagation are cached there); without an index every embedding is
+re-extracted per diff — the legacy reference path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..backend.binary import Binary, BinaryFunction
 from .base import BinaryDiffer, DiffResult, ToolInfo
-from .features import (aggregate, block_numeric_features, normalised_similarity,
-                       propagate_over_cfg, BLOCK_FEATURE_NAMES)
+from .features import (BLOCK_FEATURE_NAMES, NormalizedVector, aggregate,
+                       block_numeric_features, propagate_over_cfg,
+                       vector_similarity)
+from .index import FeatureIndex
 
 
 class VulSeeker(BinaryDiffer):
@@ -27,7 +34,14 @@ class VulSeeker(BinaryDiffer):
     def __init__(self, iterations: int = 2):
         self.iterations = iterations
 
-    def _function_embedding(self, function: BinaryFunction) -> List[float]:
+    def _function_embedding(self, function: BinaryFunction,
+                            index: Optional[FeatureIndex]) -> List[float]:
+        if index is not None:
+            propagated = index.propagated_numeric_features(function,
+                                                           self.iterations)
+            if not propagated:
+                return [0.0] * len(BLOCK_FEATURE_NAMES)
+            return aggregate(propagated.values(), len(BLOCK_FEATURE_NAMES))
         block_vectors: Dict[str, List[float]] = {
             block.label: block_numeric_features(block)
             for block in function.blocks}
@@ -37,15 +51,24 @@ class VulSeeker(BinaryDiffer):
                                         iterations=self.iterations)
         return aggregate(propagated.values(), len(BLOCK_FEATURE_NAMES))
 
-    def diff(self, original: Binary, obfuscated: Binary) -> DiffResult:
-        original_embeddings = {f.name: self._function_embedding(f)
-                               for f in original.functions}
-        obfuscated_embeddings = {f.name: self._function_embedding(f)
-                                 for f in obfuscated.functions}
+    def _embeddings(self, binary: Binary,
+                    index: Optional[FeatureIndex]) -> Dict[str, NormalizedVector]:
+        if index is not None:
+            return index.function_embeddings(
+                ("vulseeker", self.iterations),
+                lambda f: self._function_embedding(f, index))
+        return {f.name: NormalizedVector(self._function_embedding(f, None))
+                for f in binary.functions}
+
+    def _diff(self, original: Binary, obfuscated: Binary,
+              original_index: Optional[FeatureIndex],
+              obfuscated_index: Optional[FeatureIndex]) -> DiffResult:
+        original_embeddings = self._embeddings(original, original_index)
+        obfuscated_embeddings = self._embeddings(obfuscated, obfuscated_index)
 
         def similarity(a: BinaryFunction, b: BinaryFunction) -> float:
-            return normalised_similarity(original_embeddings[a.name],
-                                         obfuscated_embeddings[b.name])
+            return vector_similarity(original_embeddings[a.name],
+                                     obfuscated_embeddings[b.name])
 
         matches = self.rank_by_similarity(original, obfuscated, similarity)
         score = self.whole_binary_score(matches, original, obfuscated)

@@ -9,6 +9,8 @@ from .opcode_distance import DistanceReport, figure11, measure_opcode_distance
 from .internals import InternalsReport, InternalsRow, measure_internals, table2
 from .reporting import format_table, matrix_table, overhead_table
 from .experiments import EXPERIMENTS, Experiment, experiment_names, run_experiment
+from .executor import (reset_worker_cache, resolve_jobs, run_tasks,
+                       worker_cache)
 
 __all__ = [
     "OverheadReport", "OverheadRow", "figure6", "figure7", "measure_overhead",
@@ -19,4 +21,5 @@ __all__ = [
     "InternalsReport", "InternalsRow", "measure_internals", "table2",
     "format_table", "matrix_table", "overhead_table", "EXPERIMENTS",
     "Experiment", "experiment_names", "run_experiment",
+    "reset_worker_cache", "resolve_jobs", "run_tasks", "worker_cache",
 ]

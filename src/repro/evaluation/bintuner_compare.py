@@ -10,7 +10,7 @@ reports BinTuner's runtime overhead against the O2 + LTO baseline (30.35%).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..baselines.bintuner import BinTuner
 from ..backend.lowering import lower_program
@@ -22,6 +22,7 @@ from ..utils import geometric_mean
 from ..vm.machine import run_program
 from ..workloads.suites import (SPECINT_2006, SPECSPEED_2017, WorkloadProgram,
                                 find_program)
+from .executor import run_tasks
 
 OPT_LEVELS = (0, 1, 2, 3)
 
@@ -59,47 +60,74 @@ def default_programs() -> List[WorkloadProgram]:
     return [find_program(name) for name in names]
 
 
-def measure_bintuner(workloads: Sequence[WorkloadProgram],
-                     tuner_iterations: int = 6) -> BinTunerReport:
+#: One figure-9 task (a whole workload), picklable for the process executor.
+BinTunerTask = Tuple[WorkloadProgram, int]
+
+
+def _bintuner_task(task: BinTunerTask) -> Tuple[List[SimilarityRow], float]:
+    """Tune, obfuscate and diff one workload against every opt level.
+
+    The unit of work of figure 9; returns the workload's similarity rows plus
+    its BinTuner overhead factor (aggregated by the caller in workload order).
+    """
+    workload, tuner_iterations = task
     differ = BinDiff()
+    rows: List[SimilarityRow] = []
+
+    level_binaries = {}
+    for level in OPT_LEVELS:
+        options = OptOptions(level=level, lto=level >= 2)
+        level_binaries[level] = lower_program(
+            optimize_program(workload.build(), options))
+
+    tuner = BinTuner(iterations=tuner_iterations)
+    tuned = tuner.tune(workload.build())
+    khaos = build_obfuscated(workload.build(), obfuscator_for("fufi.all"))
+
+    for level in OPT_LEVELS:
+        reference = level_binaries[level]
+        rows.append(SimilarityRow(
+            program=workload.name, protection="bintuner", opt_level=level,
+            similarity=differ.diff(reference, tuned.best_binary).similarity_score))
+        rows.append(SimilarityRow(
+            program=workload.name, protection="khaos", opt_level=level,
+            similarity=differ.diff(reference, khaos.binary).similarity_score))
+
+    # BinTuner overhead vs the O2+LTO baseline (paper: 30.35%)
+    baseline_run = run_program(optimize_program(workload.build(), OptOptions()))
+    tuned_run = run_program(optimize_program(workload.build(),
+                                             tuned.best_options))
+    base = baseline_run.cycles or 1
+    overhead = (tuned_run.cycles - base) / base
+    return rows, overhead
+
+
+def measure_bintuner(workloads: Sequence[WorkloadProgram],
+                     tuner_iterations: int = 6,
+                     jobs: Optional[int] = None) -> BinTunerReport:
+    """Figure 9's measurement loop.
+
+    ``jobs > 1`` (or ``REPRO_JOBS``) runs one task per workload across
+    processes; rows and the overhead geomean are assembled in workload order,
+    so the report is bit-identical to a serial run.
+    """
     report = BinTunerReport()
     overheads: List[float] = []
-
-    for workload in workloads:
-        level_binaries = {}
-        for level in OPT_LEVELS:
-            options = OptOptions(level=level, lto=level >= 2)
-            level_binaries[level] = lower_program(
-                optimize_program(workload.build(), options))
-
-        tuner = BinTuner(iterations=tuner_iterations)
-        tuned = tuner.tune(workload.build())
-        khaos = build_obfuscated(workload.build(), obfuscator_for("fufi.all"))
-
-        for level in OPT_LEVELS:
-            reference = level_binaries[level]
-            report.rows.append(SimilarityRow(
-                program=workload.name, protection="bintuner", opt_level=level,
-                similarity=differ.diff(reference, tuned.best_binary).similarity_score))
-            report.rows.append(SimilarityRow(
-                program=workload.name, protection="khaos", opt_level=level,
-                similarity=differ.diff(reference, khaos.binary).similarity_score))
-
-        # BinTuner overhead vs the O2+LTO baseline (paper: 30.35%)
-        baseline_run = run_program(optimize_program(workload.build(), OptOptions()))
-        tuned_run = run_program(optimize_program(workload.build(),
-                                                 tuned.best_options))
-        base = baseline_run.cycles or 1
-        overheads.append((tuned_run.cycles - base) / base)
-
+    tasks: List[BinTunerTask] = [(workload, tuner_iterations)
+                                 for workload in workloads]
+    for rows, overhead in run_tasks(_bintuner_task, tasks, jobs=jobs):
+        report.rows.extend(rows)
+        overheads.append(overhead)
     report.bintuner_overhead_percent = geometric_mean(overheads) * 100.0
     return report
 
 
 def figure9(limit: Optional[int] = 4,
-            tuner_iterations: int = 6) -> BinTunerReport:
+            tuner_iterations: int = 6,
+            jobs: Optional[int] = None) -> BinTunerReport:
     """Figure 9 on a subset of SPECint 2006 + SPECspeed 2017 (``limit=None`` = all)."""
     workloads = default_programs()
     if limit is not None:
         workloads = workloads[:limit]
-    return measure_bintuner(workloads, tuner_iterations=tuner_iterations)
+    return measure_bintuner(workloads, tuner_iterations=tuner_iterations,
+                            jobs=jobs)

@@ -11,13 +11,16 @@ their top-1 match) and Fla runs at a 100% ratio here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core.variant_cache import VariantCache
 from ..diffing import Asm2Vec, Safe, VulSeeker
 from ..diffing.base import BinaryDiffer, escape_at_n
 from ..opt.pass_manager import OptOptions
-from ..toolchain import build_baseline, build_obfuscated, obfuscator_for
 from ..workloads.suites import WorkloadProgram, embedded_programs
+from .executor import (ephemeral_cache, matrix_chunksize, parallel_matrix,
+                       run_tasks, worker_cache)
+from .overhead import build_variant
 
 ESCAPE_LABELS = ("sub", "bog", "fla", "fufi.sep", "fufi.ori", "fufi.all")
 ESCAPE_RANKS = (1, 10, 50)
@@ -61,38 +64,76 @@ def escape_differs() -> List[BinaryDiffer]:
     return [VulSeeker(), Asm2Vec(), Safe()]
 
 
+#: One cell of the figure-10 matrix, picklable for the process executor.
+EscapeTask = Tuple[WorkloadProgram, str, BinaryDiffer, Optional[OptOptions]]
+
+
+def _escape_cell(workload: WorkloadProgram, label: str, differ: BinaryDiffer,
+                 options: Optional[OptOptions],
+                 cache: Optional[VariantCache]) -> List[EscapeRow]:
+    """Rank one (program, label, tool) cell's vulnerable functions."""
+    baseline = build_variant(workload, "baseline", options, cache)
+    variant = build_variant(workload, label, options, cache)
+    result = differ.diff(baseline.binary, variant.binary)
+    rows: List[EscapeRow] = []
+    for function_name in workload.vulnerable_functions:
+        if function_name not in result.matches:
+            continue
+        rank = result.rank_of_correct(function_name, variant.provenance)
+        rows.append(EscapeRow(
+            program=workload.name, function=function_name,
+            tool=differ.name, label=label, rank_of_correct=rank))
+    return rows
+
+
+def _escape_task(task: EscapeTask) -> List[EscapeRow]:
+    """Executor entry point: one cell against the worker's variant cache."""
+    workload, label, differ, options = task
+    return _escape_cell(workload, label, differ, options, worker_cache())
+
+
 def measure_escape(workloads: Sequence[WorkloadProgram],
                    labels: Sequence[str] = ESCAPE_LABELS,
                    differs: Optional[Sequence[BinaryDiffer]] = None,
-                   options: Optional[OptOptions] = None) -> EscapeReport:
+                   options: Optional[OptOptions] = None,
+                   cache: Optional[VariantCache] = None,
+                   jobs: Optional[int] = None) -> EscapeReport:
+    """Rank the vulnerable functions of every workload under every label.
+
+    ``jobs > 1`` (or ``REPRO_JOBS``) distributes (program × label × tool)
+    cells across processes; every cell is deterministic, so the report is
+    bit-identical to a serial run.  An *explicit* ``cache`` is never
+    overridden by the ambient ``REPRO_JOBS`` (only an explicit ``jobs``
+    argument engages the executor then).
+    """
     differs = list(differs) if differs is not None else escape_differs()
+    vulnerable_workloads = [w for w in workloads if w.vulnerable_functions]
     report = EscapeReport()
-    for workload in workloads:
-        vulnerable = workload.vulnerable_functions
-        if not vulnerable:
-            continue
-        baseline = build_baseline(workload.build(), options)
+    if parallel_matrix(jobs, cache):
+        tasks: List[EscapeTask] = [
+            (workload, label, differ, options)
+            for workload in vulnerable_workloads
+            for label in labels for differ in differs]
+        for rows in run_tasks(_escape_task, tasks, jobs=jobs,
+                              chunksize=matrix_chunksize(labels, differs)):
+            report.rows.extend(rows)
+        return report
+    if cache is None:
+        cache = ephemeral_cache(labels)
+    for workload in vulnerable_workloads:
         for label in labels:
-            variant = build_obfuscated(workload.build(), obfuscator_for(label),
-                                       options)
             for differ in differs:
-                result = differ.diff(baseline.binary, variant.binary)
-                for function_name in vulnerable:
-                    if function_name not in result.matches:
-                        continue
-                    rank = result.rank_of_correct(function_name,
-                                                  variant.provenance)
-                    report.rows.append(EscapeRow(
-                        program=workload.name, function=function_name,
-                        tool=differ.name, label=label, rank_of_correct=rank))
+                report.rows.extend(_escape_cell(workload, label, differ,
+                                                options, cache))
     return report
 
 
 def figure10(labels: Sequence[str] = ESCAPE_LABELS,
              options: Optional[OptOptions] = None,
-             limit: Optional[int] = None) -> EscapeReport:
+             limit: Optional[int] = None,
+             jobs: Optional[int] = None) -> EscapeReport:
     """Figure 10: escape@1/10/50 of the T-III vulnerable functions."""
     workloads = embedded_programs()
     if limit is not None:
         workloads = workloads[:limit]
-    return measure_escape(workloads, labels, options=options)
+    return measure_escape(workloads, labels, options=options, jobs=jobs)

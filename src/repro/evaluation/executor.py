@@ -1,0 +1,165 @@
+"""Process-parallel execution of the evaluation experiment matrices.
+
+The diffing experiments (Figures 8, 9 and 10) iterate a (program × label ×
+tool) matrix in which every cell is a pure function of its inputs: workload
+synthesis, the obfuscators and the optimizer are all seeded, so a cell
+computes the same rows no matter where or when it runs.  That makes the
+matrix embarrassingly parallel — this module fans the cells across worker
+processes with :mod:`concurrent.futures` while keeping the results
+bit-identical to a serial run:
+
+* tasks are submitted and collected with ``ProcessPoolExecutor.map``, which
+  preserves submission order, and the serial order is exactly the loop order
+  of the corresponding ``measure_*`` driver;
+* each worker process keeps one :class:`~repro.core.variant_cache.VariantCache`
+  (:func:`worker_cache`), so the baseline and the obfuscated variants are
+  built once per worker rather than once per cell, and optionally pre-loads
+  it from ``REPRO_VARIANT_CACHE_DIR`` (see
+  :meth:`~repro.core.variant_cache.VariantCache.load`);
+* ``jobs`` defaults to the ``REPRO_JOBS`` environment variable and, absent
+  that, to 1 — results stay deterministic and tier-1-safe with no worker
+  processes at all.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+from ..core.variant_cache import VariantCache, cache_file_path
+
+Task = TypeVar("Task")
+Result = TypeVar("Result")
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker-process count: explicit ``jobs``, else ``REPRO_JOBS``, else 1.
+
+    ``0`` (or any non-positive count) means "all cores".  ``1`` runs the
+    tasks serially in-process — the default, so experiment results stay
+    deterministic and reproducible without any executor involvement.
+    """
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+# -- per-worker variant cache ---------------------------------------------------------
+
+_WORKER_CACHE: Optional[VariantCache] = None
+
+#: Default LRU bound of each worker's cache.  Tasks are chunked one workload
+#: per worker (see :func:`matrix_chunksize`), so the working set is one
+#: workload's baseline + variants; an unbounded memo would instead pin every
+#: artifact a long-lived worker ever builds.  Override with
+#: ``REPRO_WORKER_CACHE_ENTRIES``.
+DEFAULT_WORKER_CACHE_ENTRIES = 32
+
+
+def _worker_cache_bound() -> Optional[int]:
+    raw = os.environ.get("REPRO_WORKER_CACHE_ENTRIES", "").strip()
+    if raw:
+        try:
+            bound = int(raw)
+            return bound if bound > 0 else None  # <= 0 means unbounded
+        except ValueError:
+            pass
+    return DEFAULT_WORKER_CACHE_ENTRIES
+
+
+def worker_cache() -> VariantCache:
+    """The process-local :class:`VariantCache` used by executor tasks.
+
+    Created on first use in each worker; if ``REPRO_VARIANT_CACHE_DIR``
+    names a directory with a saved cache, the worker starts from it (a
+    corrupt or incompatible file is ignored, not fatal).
+    """
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = _initial_cache()
+    return _WORKER_CACHE
+
+
+def _initial_cache() -> VariantCache:
+    bound = _worker_cache_bound()
+    directory = os.environ.get("REPRO_VARIANT_CACHE_DIR")
+    if directory:
+        path = cache_file_path(directory)
+        if os.path.exists(path):
+            try:
+                return VariantCache.load(path, max_entries=bound)
+            except Exception:
+                # best-effort preload: a corrupt, truncated or stale file
+                # (UnpicklingError, AttributeError on renamed classes, ...)
+                # must never kill a worker — builds are deterministic, so
+                # starting empty only costs time
+                pass
+    return VariantCache(max_entries=bound)
+
+
+def reset_worker_cache() -> None:
+    """Drop the process-local cache (tests use this to isolate scenarios)."""
+    global _WORKER_CACHE
+    _WORKER_CACHE = None
+
+
+# -- experiment-matrix helpers --------------------------------------------------------
+
+
+def parallel_matrix(jobs: Optional[int], cache) -> bool:
+    """Should a ``measure_*`` driver dispatch its matrix to the executor?
+
+    True when the effective job count exceeds one — unless the caller passed
+    an explicit ``cache`` and only the ambient ``REPRO_JOBS`` asked for
+    parallelism: an explicit argument is never vetoed by the environment
+    (workers cannot share the caller's in-process cache).
+    """
+    return resolve_jobs(jobs) > 1 and (cache is None or jobs is not None)
+
+
+def matrix_chunksize(labels, differs) -> int:
+    """Chunk one workload's whole (label × tool) block per worker.
+
+    Task lists are workload-major, so this keeps each workload's baseline
+    and variants on exactly one process — no duplicated builds.
+    """
+    return max(1, len(labels) * len(differs))
+
+
+def ephemeral_cache(labels) -> VariantCache:
+    """The serial drivers' per-call cache: one workload's working set.
+
+    Keeps the pre-executor loops' build reuse (baseline built once per
+    workload, each variant once per label) without pinning the whole
+    matrix's artifacts in memory like an unbounded memo would.
+    """
+    return VariantCache(max_entries=len(labels) + 1)
+
+
+# -- the map primitive ----------------------------------------------------------------
+
+
+def run_tasks(task_fn: Callable[[Task], Result], tasks: Iterable[Task],
+              jobs: Optional[int] = None, chunksize: int = 1) -> List[Result]:
+    """Apply ``task_fn`` to every task, preserving task order in the results.
+
+    With ``jobs <= 1`` this is a plain in-process loop (no pickling, caller's
+    caches apply).  With more, tasks and results cross process boundaries, so
+    both must be picklable and ``task_fn`` must be a module-level callable.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [task_fn(task) for task in tasks]
+    workers = min(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(task_fn, tasks, chunksize=chunksize))

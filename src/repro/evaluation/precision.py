@@ -4,12 +4,17 @@ For every workload program the original (un-obfuscated, un-stripped) binary is
 diffed against each obfuscated build by each of the five tools; Precision@1 is
 computed with the relaxed pairing rule (provenance-based).  Figure 8 reports
 the average per (tool, obfuscation) pair over T-I and T-II.
+
+``jobs`` (or ``REPRO_JOBS``) fans the (program × label × tool) matrix across
+worker processes via :mod:`repro.evaluation.executor`; every cell is a pure
+function of seeded inputs, so the parallel report is bit-identical to the
+serial one (the default).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.variant_cache import VariantCache
 from ..diffing import all_differs, precision_at_1
@@ -18,6 +23,8 @@ from ..opt.pass_manager import OptOptions
 from ..toolchain import ALL_LABELS
 from ..workloads.suites import (WorkloadProgram, coreutils_programs,
                                 spec2006_programs, spec2017_programs)
+from .executor import (ephemeral_cache, matrix_chunksize, parallel_matrix,
+                       run_tasks, worker_cache)
 from .overhead import build_variant
 
 
@@ -61,31 +68,65 @@ class PrecisionReport:
                 for tool in self.tools()}
 
 
+#: One cell of the figure-8 matrix, picklable for the process executor.
+PrecisionTask = Tuple[WorkloadProgram, str, BinaryDiffer, Optional[OptOptions]]
+
+
+def _precision_cell(workload: WorkloadProgram, label: str,
+                    differ: BinaryDiffer, options: Optional[OptOptions],
+                    cache: Optional[VariantCache]) -> PrecisionRow:
+    """Diff one (program, label, tool) cell — the unit of work of figure 8."""
+    baseline = build_variant(workload, "baseline", options, cache)
+    variant = build_variant(workload, label, options, cache)
+    original_names = [f.name for f in baseline.binary.functions]
+    result = differ.diff(baseline.binary, variant.binary)
+    precision = precision_at_1(result, variant.provenance, original_names)
+    return PrecisionRow(
+        program=workload.name, suite=workload.suite,
+        tool=differ.name, label=label, precision=precision,
+        similarity_score=result.similarity_score)
+
+
+def _precision_task(task: PrecisionTask) -> PrecisionRow:
+    """Executor entry point: one cell against the worker's variant cache."""
+    workload, label, differ, options = task
+    return _precision_cell(workload, label, differ, options, worker_cache())
+
+
 def measure_precision(workloads: Sequence[WorkloadProgram],
                       labels: Sequence[str] = ALL_LABELS,
                       differs: Optional[Sequence[BinaryDiffer]] = None,
                       options: Optional[OptOptions] = None,
-                      cache: Optional[VariantCache] = None) -> PrecisionReport:
+                      cache: Optional[VariantCache] = None,
+                      jobs: Optional[int] = None) -> PrecisionReport:
     """Diff every obfuscated build against its baseline with every tool.
 
     A shared :class:`~repro.core.variant_cache.VariantCache` lets this reuse
     the variants the overhead experiments already built (and vice versa).
+    ``jobs > 1`` (or ``REPRO_JOBS``) distributes the cells across processes;
+    workers build through their own process-local caches, so a passed
+    ``cache`` applies to serial runs only — and an *explicit* ``cache`` is
+    never overridden by the ambient ``REPRO_JOBS`` (only an explicit
+    ``jobs`` argument engages the executor then).  Row order and row
+    contents are identical either way.
     """
     differs = list(differs) if differs is not None else all_differs()
     report = PrecisionReport()
+    if parallel_matrix(jobs, cache):
+        tasks: List[PrecisionTask] = [
+            (workload, label, differ, options)
+            for workload in workloads for label in labels for differ in differs]
+        report.rows.extend(run_tasks(
+            _precision_task, tasks, jobs=jobs,
+            chunksize=matrix_chunksize(labels, differs)))
+        return report
+    if cache is None:
+        cache = ephemeral_cache(labels)
     for workload in workloads:
-        baseline = build_variant(workload, "baseline", options, cache)
-        original_names = [f.name for f in baseline.binary.functions]
         for label in labels:
-            variant = build_variant(workload, label, options, cache)
             for differ in differs:
-                result = differ.diff(baseline.binary, variant.binary)
-                precision = precision_at_1(result, variant.provenance,
-                                           original_names)
-                report.rows.append(PrecisionRow(
-                    program=workload.name, suite=workload.suite,
-                    tool=differ.name, label=label, precision=precision,
-                    similarity_score=result.similarity_score))
+                report.rows.append(_precision_cell(workload, label, differ,
+                                                   options, cache))
     return report
 
 
@@ -93,7 +134,8 @@ def figure8(limit_spec: Optional[int] = 4, limit_coreutils: Optional[int] = 4,
             labels: Sequence[str] = ALL_LABELS,
             differs: Optional[Sequence[BinaryDiffer]] = None,
             options: Optional[OptOptions] = None,
-            cache: Optional[VariantCache] = None) -> PrecisionReport:
+            cache: Optional[VariantCache] = None,
+            jobs: Optional[int] = None) -> PrecisionReport:
     """Figure 8 on a configurable subset of T-I and T-II.
 
     The full suites (47 SPEC + 108 CoreUtils programs x 8 obfuscations x 5
@@ -106,4 +148,5 @@ def figure8(limit_spec: Optional[int] = 4, limit_coreutils: Optional[int] = 4,
         spec = spec[:limit_spec]
     if limit_coreutils is not None:
         core = core[:limit_coreutils]
-    return measure_precision(spec + core, labels, differs, options, cache)
+    return measure_precision(spec + core, labels, differs, options, cache,
+                             jobs=jobs)

@@ -89,6 +89,12 @@ class IntType(Type):
         if type(self) is IntType:
             IntType._interned.setdefault(bits, self)
 
+    def __reduce__(self):
+        # Re-intern on unpickle: the default protocol would call
+        # ``__new__(cls)`` (bits defaulting to 64) and then overwrite the
+        # shared interned instance's ``bits`` via ``__setstate__``.
+        return (type(self), (self.bits,))
+
     def __str__(self) -> str:
         return f"i{self.bits}"
 
@@ -131,6 +137,9 @@ class FloatType(Type):
         if type(self) is FloatType:
             FloatType._interned.setdefault(bits, self)
 
+    def __reduce__(self):
+        return (type(self), (self.bits,))
+
     def __str__(self) -> str:
         return f"f{self.bits}"
 
@@ -154,6 +163,11 @@ class PointerType(Type):
         self.pointee = pointee
         if type(self) is PointerType:
             pointee.__dict__.setdefault("_pointer_interned", self)
+
+    def __reduce__(self):
+        # ``__new__`` requires the pointee, so the default pickle path fails;
+        # rebuilding through the constructor also re-interns the pointer type.
+        return (type(self), (self.pointee,))
 
     def __str__(self) -> str:
         return f"{self.pointee}*"

@@ -1,0 +1,130 @@
+"""The parallel experiment executor: serial vs jobs=2 bit-identity.
+
+The (program × label × tool) matrices of figures 8, 9 and 10 are pure
+functions of seeded inputs; fanning them across processes must reproduce the
+serial reports exactly (same rows, same order, same floats).  Also covers
+``resolve_jobs`` / ``REPRO_JOBS`` resolution and the reworked
+``escape_ratio`` signature.
+"""
+
+import os
+
+import pytest
+
+from repro.diffing import Asm2Vec, BinDiff, escape_ratio
+from repro.evaluation import (figure9, measure_escape, measure_precision,
+                              resolve_jobs, run_tasks)
+from repro.evaluation.executor import reset_worker_cache, worker_cache
+from repro.workloads.suites import embedded_programs, spec2006_programs
+
+WORKLOADS = spec2006_programs()[:2]
+LABELS = ("fission", "fufi.ori")
+
+
+class TestResolveJobs:
+    def test_explicit_jobs_win(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(1) == 1
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == 1
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert resolve_jobs() == 4
+
+    def test_garbage_env_var_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert resolve_jobs() == 1
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+
+class TestRunTasks:
+    def test_serial_preserves_order(self):
+        assert run_tasks(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_parallel_preserves_order(self):
+        values = list(range(20))
+        assert run_tasks(_square, values, jobs=2) == [v * v for v in values]
+
+    def test_single_task_stays_in_process(self):
+        marker = []
+        assert run_tasks(lambda t: marker.append(t) or t, [42], jobs=8) == [42]
+        assert marker == [42]  # closure ran here, not in a worker
+
+    def test_worker_cache_is_process_local_singleton(self):
+        reset_worker_cache()
+        assert worker_cache() is worker_cache()
+
+
+def _square(value):
+    return value * value
+
+
+class TestParallelExperimentsBitIdentical:
+    def test_precision_matrix_jobs2_equals_serial(self):
+        serial = measure_precision(WORKLOADS, labels=LABELS)
+        parallel = measure_precision(WORKLOADS, labels=LABELS, jobs=2)
+        assert serial.rows == parallel.rows
+        assert serial.matrix() == parallel.matrix()
+
+    def test_precision_respects_repro_jobs_env(self, monkeypatch):
+        serial = measure_precision(WORKLOADS[:1], labels=("fission",),
+                                   differs=[BinDiff(), Asm2Vec()])
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        parallel = measure_precision(WORKLOADS[:1], labels=("fission",),
+                                     differs=[BinDiff(), Asm2Vec()])
+        assert serial.rows == parallel.rows
+
+    def test_ambient_repro_jobs_never_overrides_explicit_cache(self, monkeypatch):
+        """REPRO_JOBS in the environment must not bypass a passed cache=
+        (the bench's fig8 hit-rate check depends on the cache being used)."""
+        from repro.core.variant_cache import VariantCache
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        cache = VariantCache()
+        measure_precision(WORKLOADS[:1], labels=("fission",),
+                          differs=[BinDiff()], cache=cache)
+        assert cache.misses > 0          # the explicit cache was used
+        hits_before = cache.hits
+        measure_precision(WORKLOADS[:1], labels=("fission",),
+                          differs=[BinDiff()], cache=cache)
+        assert cache.hits > hits_before  # ...and hit on the rerun
+
+    def test_escape_report_jobs2_equals_serial(self):
+        workloads = embedded_programs()[:1]
+        serial = measure_escape(workloads, labels=("sub", "fufi.all"))
+        parallel = measure_escape(workloads, labels=("sub", "fufi.all"), jobs=2)
+        assert serial.rows == parallel.rows
+        for n in (1, 10, 50):
+            assert serial.matrix(n) == parallel.matrix(n)
+
+    def test_figure9_jobs2_equals_serial(self):
+        serial = figure9(limit=2, tuner_iterations=1)
+        parallel = figure9(limit=2, tuner_iterations=1, jobs=2)
+        assert serial.rows == parallel.rows
+        assert (serial.bintuner_overhead_percent
+                == parallel.bintuner_overhead_percent)
+
+
+class TestEscapeRatioPairs:
+    def test_escape_ratio_takes_result_provenance_pairs(self):
+        from repro.toolchain import (build_baseline, build_obfuscated,
+                                     obfuscator_for)
+        workload = embedded_programs()[0]
+        vulnerable = workload.vulnerable_functions
+        baseline = build_baseline(workload.build())
+        differ = Asm2Vec()
+        pairs = []
+        for label in ("sub", "fufi.all"):
+            variant = build_obfuscated(workload.build(), obfuscator_for(label))
+            pairs.append((differ.diff(baseline.binary, variant.binary),
+                          variant.provenance))
+        ratio_1 = escape_ratio(pairs, vulnerable, 1)
+        ratio_50 = escape_ratio(pairs, vulnerable, 50)
+        assert 0.0 <= ratio_50 <= ratio_1 <= 1.0
+
+    def test_escape_ratio_empty(self):
+        assert escape_ratio([], ["f"], 1) == 0.0
