@@ -27,10 +27,17 @@ can diff the perf trajectory.  Tracked metrics:
   against a warm variant cache: the ``FeatureIndex`` fast path vs the legacy
   per-diff extraction (``REPRO_DIFF_FEATURES=legacy``) and the process
   executor at ``jobs=2``; both alternates are asserted row-identical to the
-  indexed serial run.
+  indexed serial run;
+* **fig67_sharded** — the figure-6/7 overhead matrix through the sharded
+  scheduler (:mod:`repro.evaluation.sharding`) and the shared artifact store
+  (``REPRO_STORE_DIR``): serial vs ``jobs=2`` row-identity, cold vs
+  warm-attach timings, and the store's hit/miss/put counters — a warm attach
+  must rebuild **zero** variants.
 
-Set ``REPRO_VARIANT_CACHE_DIR`` to also exercise the disk-persisted variant
-cache (save → reload round trip; adds a ``disk_cache`` section).
+Set ``REPRO_VARIANT_CACHE_DIR`` to also exercise the legacy disk-persisted
+variant cache (save → reload round trip; adds a ``disk_cache`` section).
+``REPRO_STORE_DIR`` anchors the fig67 store tree (a fresh subtree per run);
+unset, a temp directory is used.
 
 All workloads are deterministic (profile-seeded), so the only
 run-to-run variance is machine noise; every timing is a best-of-``reps``.
@@ -68,7 +75,7 @@ MEASURE_LABELS = ("fission", "fufi.ori")
 #: Keys every result file must contain (checked by --smoke).
 REQUIRED_KEYS = ("schema", "config", "vm", "fig6_measure_loop",
                  "fig6_end_to_end", "pipeline", "variant_cache",
-                 "fig8_diff_phase")
+                 "fig8_diff_phase", "fig67_sharded")
 
 
 def best_of(fn: Callable[[], object], reps: int) -> float:
@@ -277,6 +284,105 @@ def bench_fig8_diff_phase(programs, reps: int) -> Dict[str, object]:
     }
 
 
+def bench_fig67_sharded(programs, reps: int) -> Dict[str, object]:
+    """Figures 6/7 through the sharded scheduler and the shared store.
+
+    Times the serial reference, a cold store-backed run (every variant built
+    and persisted), a warm re-attach (zero rebuilds — asserted structurally
+    by --smoke) and the ``jobs=2`` sharded run whose workers attach to the
+    same tree; serial and sharded rows must be identical.
+    """
+    from repro.evaluation.executor import reset_worker_cache
+    from repro.store import KIND_VARIANT, ArtifactStore
+
+    labels = MEASURE_LABELS
+    # jobs=1 pins the differential reference to the serial loop even when an
+    # ambient REPRO_JOBS would otherwise engage the executor
+    reference = measure_overhead(programs, labels=labels, jobs=1)
+    serial_s = best_of(
+        lambda: measure_overhead(programs, labels=labels, jobs=1), reps)
+
+    base_dir = os.environ.get("REPRO_STORE_DIR")
+    if base_dir:
+        os.makedirs(base_dir, exist_ok=True)
+        store_root = tempfile.mkdtemp(prefix="fig67-", dir=base_dir)
+        cleanup_dir = None
+    else:
+        cleanup_dir = tempfile.TemporaryDirectory(prefix="fig67-store-")
+        store_root = cleanup_dir.name
+    try:
+        cold_cache = VariantCache(store=ArtifactStore.attach(store_root))
+        gc.collect()
+        start = time.perf_counter()
+        cold_report = measure_overhead(programs, labels=labels,
+                                       cache=cold_cache)
+        cold_attach_s = time.perf_counter() - start
+        cold_stats = cold_cache.store_stats()
+
+        warm_cache = VariantCache(store=ArtifactStore.attach(store_root))
+        warm_rows: List = []
+
+        def warm_run():
+            report = measure_overhead(programs, labels=labels,
+                                      cache=warm_cache)
+            if not warm_rows:
+                # the first warm run is the one whose artifacts crossed the
+                # disk-unpickle read path; its rows feed the identity check
+                warm_rows.extend(report.rows)
+            return report
+
+        warm_attach_s = best_of(warm_run, reps)
+        warm_stats = warm_cache.store_stats()
+        # the first warm run answers "how many variants were rebuilt?"
+        warm_rebuilds = warm_stats["misses"]
+
+        objects_before = warm_cache.store.entry_count(KIND_VARIANT)
+        previous_store = os.environ.get("REPRO_STORE_DIR")
+        os.environ["REPRO_STORE_DIR"] = store_root
+        reset_worker_cache()
+        try:
+            gc.collect()
+            start = time.perf_counter()
+            sharded = measure_overhead(programs, labels=labels, jobs=2)
+            jobs2_s = time.perf_counter() - start
+        finally:
+            reset_worker_cache()
+            if previous_store is None:
+                os.environ.pop("REPRO_STORE_DIR", None)
+            else:
+                os.environ["REPRO_STORE_DIR"] = previous_store
+        objects_after = ArtifactStore.attach(store_root).entry_count(
+            KIND_VARIANT)
+    finally:
+        if cleanup_dir is not None:
+            cleanup_dir.cleanup()
+
+    # the store tree lives in a per-run temp directory; its random path
+    # would be pure noise in the tracked results file
+    for stats in (cold_stats, warm_stats):
+        stats.pop("root", None)
+    return {
+        "programs": [wp.name for wp in programs],
+        "labels": list(labels),
+        "rows": len(reference.rows),
+        "serial_s": round(serial_s, 4),
+        "cold_attach_s": round(cold_attach_s, 4),
+        "warm_attach_s": round(warm_attach_s, 4),
+        "jobs2_s": round(jobs2_s, 4),
+        "warm_attach_speedup": (round(cold_attach_s / warm_attach_s, 2)
+                                if warm_attach_s else None),
+        "warm_attach_rebuilds": warm_rebuilds,
+        "store": {"cold": cold_stats, "warm": warm_stats,
+                  "objects": objects_after},
+        "identical": {
+            "cold_attach": cold_report.rows == reference.rows,
+            "warm_attach": warm_rows == reference.rows,
+            "jobs2": sharded.rows == reference.rows,
+            "jobs2_no_new_objects": objects_after == objects_before,
+        },
+    }
+
+
 def bench_disk_cache(programs) -> Dict[str, object]:
     """Save → reload round trip of the variant cache (REPRO_VARIANT_CACHE_DIR)."""
     directory = os.environ["REPRO_VARIANT_CACHE_DIR"]
@@ -326,6 +432,25 @@ def check_results(results: Dict[str, object]) -> List[str]:
             problems.append("legacy diff path diverged from the FeatureIndex path")
         if not identical.get("jobs2", False):
             problems.append("jobs=2 executor diverged from the serial run")
+    sharded = results.get("fig67_sharded", {})
+    if sharded:
+        identical = sharded.get("identical", {})
+        if not identical.get("cold_attach", False):
+            problems.append("store-backed fig6/7 run diverged from the serial run")
+        if not identical.get("warm_attach", False):
+            problems.append("warm store attach (disk-read path) diverged "
+                            "from the serial run")
+        if not identical.get("jobs2", False):
+            problems.append("sharded jobs=2 fig6/7 run diverged from the serial run")
+        if not identical.get("jobs2_no_new_objects", False):
+            problems.append("jobs=2 workers rebuilt variants a warm store already had")
+        if sharded.get("warm_attach_rebuilds", -1) != 0:
+            problems.append("a warm ArtifactStore attach rebuilt variants")
+        store = sharded.get("store", {})
+        if store.get("warm", {}).get("disk_hits", 0) <= 0:
+            problems.append("warm store attach served no disk hits")
+        if store.get("cold", {}).get("puts", 0) <= 0:
+            problems.append("cold store run persisted no artifacts")
     if os.environ.get("REPRO_VARIANT_CACHE_DIR"):
         disk = results.get("disk_cache")
         if not disk:
@@ -360,11 +485,12 @@ def main(argv=None) -> int:
         reps = 5
 
     results = {
-        "schema": 3,
+        "schema": 4,
         "config": {"quick": bool(args.quick or args.smoke), "reps": reps,
                    "python": sys.version.split()[0],
                    "variant_cache_dir":
-                       os.environ.get("REPRO_VARIANT_CACHE_DIR") or None},
+                       os.environ.get("REPRO_VARIANT_CACHE_DIR") or None,
+                   "store_dir": os.environ.get("REPRO_STORE_DIR") or None},
         "vm": bench_vm(vm_programs, reps),
         "fig6_measure_loop": bench_fig6_measure_loop(loop_programs, reps),
         "fig6_end_to_end": bench_fig6_end_to_end(loop_programs,
@@ -374,6 +500,8 @@ def main(argv=None) -> int:
                                              max(1, reps // 2)),
         "fig8_diff_phase": bench_fig8_diff_phase(loop_programs,
                                                  max(1, reps // 2)),
+        "fig67_sharded": bench_fig67_sharded(loop_programs,
+                                             max(1, reps // 2)),
     }
     if os.environ.get("REPRO_VARIANT_CACHE_DIR"):
         results["disk_cache"] = bench_disk_cache(loop_programs)
@@ -398,6 +526,12 @@ def main(argv=None) -> int:
     print(f"fig8 diff phase:   legacy {dp['legacy_s']}s -> indexed "
           f"{dp['indexed_s']}s ({dp['speedup']}x, cold {dp['indexed_cold_s']}s, "
           f"jobs=2 {dp['jobs2_s']}s, identical={dp['identical']})")
+    fs = results["fig67_sharded"]
+    print(f"fig67 sharded:     serial {fs['serial_s']}s, cold attach "
+          f"{fs['cold_attach_s']}s -> warm attach {fs['warm_attach_s']}s "
+          f"({fs['warm_attach_speedup']}x, {fs['warm_attach_rebuilds']} "
+          f"rebuilds), jobs=2 {fs['jobs2_s']}s, "
+          f"identical={fs['identical']}")
     if "disk_cache" in results:
         dc = results["disk_cache"]
         print(f"disk cache:        {dc['saved_entries']} entries -> "

@@ -7,8 +7,11 @@
 # the harness still produces a structurally valid BENCH_results.json — no
 # timing-sensitive assertions, and the tracked results file is not touched.
 # The smoke run also exercises the parallel experiment executor (the harness
-# re-runs the figure-8 diff phase at jobs=2 and asserts row-identity) and the
-# disk-persisted variant cache (REPRO_VARIANT_CACHE_DIR round trip).
+# re-runs the figure-8 diff phase at jobs=2 and asserts row-identity), the
+# legacy disk-persisted variant cache (REPRO_VARIANT_CACHE_DIR round trip)
+# and the shared artifact store (REPRO_STORE_DIR: the fig67_sharded section
+# must leave a store tree with an objects/ dir and a generation.json
+# manifest, warm attaches must rebuild zero variants).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,7 +23,8 @@ if [[ "${1:-}" == "--smoke" ]]; then
   trap 'rm -rf "$tmpdir"' EXIT
   out="$tmpdir/BENCH_results.json"
   export REPRO_VARIANT_CACHE_DIR="$tmpdir/variant-cache"
-  mkdir -p "$REPRO_VARIANT_CACHE_DIR"
+  export REPRO_STORE_DIR="$tmpdir/store"
+  mkdir -p "$REPRO_VARIANT_CACHE_DIR" "$REPRO_STORE_DIR"
   python benchmarks/perf/run_bench.py --smoke --out "$out" "$@"
   if [[ ! -s "$out" ]]; then
     echo "smoke: $out was not produced" >&2
@@ -30,8 +34,14 @@ if [[ "${1:-}" == "--smoke" ]]; then
     echo "smoke: variant cache was not persisted to disk" >&2
     exit 1
   fi
+  store_tree=("$REPRO_STORE_DIR"/fig67-*)
+  if [[ ! -d "${store_tree[0]}/objects" || ! -s "${store_tree[0]}/generation.json" ]]; then
+    echo "smoke: artifact store tree (objects/ + generation.json) was not produced" >&2
+    exit 1
+  fi
   echo "smoke: benchmark harness produced BENCH_results.json"
   echo "smoke: variant cache persisted and round-tripped"
+  echo "smoke: artifact store tree persisted (objects/ + generation.json)"
   exit 0
 fi
 

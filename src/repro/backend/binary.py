@@ -9,6 +9,7 @@ exploit function names).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
@@ -104,6 +105,31 @@ class Binary:
     def callees_of(self, name: str) -> Set[str]:
         return {callee for caller, callee in self.call_graph_edges()
                 if caller == name}
+
+    def content_digest(self) -> str:
+        """A stable SHA-256 fingerprint of the machine code.
+
+        Covers every function's blocks, instructions (opcode, operands, call
+        and jump targets) and CFG edges in their on-disk order — two binaries
+        with the same digest are the same program, independently of object
+        identity.  Used to assert that artifact-store round trips (pickle →
+        disk → unpickle, possibly in another process) preserve lowered
+        binaries exactly.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(f"binary\x00{self.name}\x00{self.stripped}\n".encode())
+        for function in self.functions:
+            hasher.update(
+                f"fn\x00{function.name}\x00{function.exported}\n".encode())
+            for block in function.blocks:
+                hasher.update(f"bb\x00{block.label}\x00"
+                              f"{','.join(block.successors)}\n".encode())
+                for inst in block.instructions:
+                    hasher.update(
+                        f"in\x00{inst.opcode}\x00{','.join(inst.operands)}"
+                        f"\x00{inst.call_target or ''}"
+                        f"\x00{inst.jump_target or ''}\n".encode())
+        return hasher.hexdigest()
 
     def strip(self) -> "Binary":
         """Return a copy with anonymised function names (symbol table removed)."""

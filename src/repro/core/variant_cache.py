@@ -1,4 +1,4 @@
-"""Build-variant cache for the evaluation experiments.
+"""Build-variant cache: the façade over the shared artifact store.
 
 The paper's pipeline compiles every workload "under O2 with LTO" once per
 obfuscation configuration, and Figures 6, 7 and 8 all iterate the same
@@ -9,27 +9,40 @@ pure function of ``(workload, obfuscation config, optimization options)``:
 rebuilding it is wasted work.
 
 :class:`VariantCache` memoises those builds.  Keys are derived with
-:func:`variant_key`; obfuscators advertise their configuration through a
-``cache_key()`` method (see :meth:`repro.core.config.KhaosConfig.cache_key`),
-so two obfuscators with the same label but different knobs never collide.
+:func:`variant_key` (now living in :mod:`repro.store.keys`, re-exported here);
+obfuscators advertise their configuration through a ``cache_key()`` method
+(see :meth:`repro.core.config.KhaosConfig.cache_key`), so two obfuscators
+with the same label but different knobs never collide.
 
-Cached artifacts are shared between callers, so consumers must treat them as
-immutable: run the program, diff the binary, read the provenance — never
-mutate the IR in place.  (The evaluation drivers only ever execute and diff.)
+Since the artifact-store subsystem landed, ``VariantCache`` is a thin façade
+over :class:`repro.store.artifact_store.ArtifactStore`: the default
+construction wraps a pure in-memory store (the historical LRU behaviour),
+and passing ``store=ArtifactStore.attach(dir)`` makes every lookup fall
+through the in-process LRU to a shared on-disk object tree that any number
+of concurrent workers use together.  The pre-store single-pickle layout
+(:meth:`save`/:meth:`load`, ``variants.pkl`` under the now-deprecated
+``REPRO_VARIANT_CACHE_DIR``) is kept as an import/export format on top of
+the store — not as a parallel caching mechanism.
+
+Cached artifacts are shared between callers (and, through a rooted store,
+between processes), so consumers must treat them as immutable: run the
+program, diff the binary, read the provenance — never mutate the IR in
+place.  (The evaluation drivers only ever execute and diff.)
 """
 
 from __future__ import annotations
 
-import dataclasses
 import os
 import pickle
-from collections import OrderedDict
 from typing import Callable, Dict, Optional, Tuple
 
-#: Bump when the build pipeline changes incompatibly (key schema version).
-_KEY_SCHEMA = 1
+from ..store.artifact_store import KIND_BINARY, KIND_VARIANT, ArtifactStore
+from ..store.keys import (KEY_SCHEMA as _KEY_SCHEMA,  # noqa: F401 (re-export)
+                          _freeze, _value_based, config_cache_key, variant_key)
 
-#: On-disk payload format version (bump when save()'s layout changes).
+#: On-disk payload format version of the *legacy* single-pickle layout
+#: (bump when save()'s layout changes).  The store tree has its own schema
+#: stamp — see :data:`repro.store.artifact_store.STORE_SCHEMA`.
 CACHE_FILE_VERSION = 1
 
 #: File name used inside a ``REPRO_VARIANT_CACHE_DIR`` directory.
@@ -37,122 +50,76 @@ CACHE_FILE_NAME = "variants.pkl"
 
 
 def cache_file_path(directory: str) -> str:
-    """The cache file inside a ``REPRO_VARIANT_CACHE_DIR`` directory."""
+    """The legacy cache file inside a ``REPRO_VARIANT_CACHE_DIR`` directory."""
     return os.path.join(directory, CACHE_FILE_NAME)
 
 
-def _freeze(value) -> object:
-    """Recursively convert ``value`` into a hashable key component."""
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return (type(value).__name__,) + tuple(
-            (f.name, _freeze(getattr(value, f.name)))
-            for f in dataclasses.fields(value))
-    if isinstance(value, dict):
-        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
-    if isinstance(value, (list, tuple)):
-        return tuple(_freeze(v) for v in value)
-    return value
-
-
-def _value_based(frozen) -> bool:
-    """True when ``frozen`` compares by value (safe inside a cache key).
-
-    Arbitrary objects hash by identity, so embedding them in a key would
-    defeat cache sharing between logically identical configurations — and
-    never match again after a disk round trip.
-    """
-    if frozen is None or isinstance(frozen, (str, bytes, int, float, bool)):
-        return True
-    if isinstance(frozen, tuple):
-        return all(_value_based(item) for item in frozen)
-    return False
-
-
-def config_cache_key(obfuscator_or_label) -> object:
-    """The configuration component of a variant key.
-
-    Accepts a plain label string (e.g. ``"baseline"``) or any obfuscator
-    object; objects exposing ``cache_key()`` use it, others fall back to
-    their ``label`` plus frozen public configuration.
-    """
-    if isinstance(obfuscator_or_label, str):
-        return obfuscator_or_label
-    cache_key = getattr(obfuscator_or_label, "cache_key", None)
-    if callable(cache_key):
-        return cache_key()
-    # fallback: freeze the public configuration too, so two instances with
-    # the same label but different knobs never collide
-    config = []
-    for name in sorted(getattr(obfuscator_or_label, "__dict__", {})):
-        if name.startswith("_") or name == "label":
-            continue
-        value = getattr(obfuscator_or_label, name)
-        if callable(value):
-            continue
-        frozen = _freeze(value)
-        if not _value_based(frozen):
-            # identity-hashed objects would never match across instances or
-            # a disk round trip; fall back to their (stable-enough) repr
-            frozen = repr(value)
-        config.append((name, frozen))
-    return (type(obfuscator_or_label).__name__,
-            getattr(obfuscator_or_label, "label", "?"),
-            tuple(config))
-
-
-def variant_key(workload, obfuscator_or_label, options=None) -> Tuple:
-    """Cache key for one built variant.
-
-    ``workload`` is a :class:`~repro.workloads.suites.WorkloadProgram` (its
-    *whole* profile pins the synthesised IR — every knob, not just the seed);
-    ``obfuscator_or_label`` identifies the obfuscation configuration incl.
-    its seed; ``options`` the :class:`~repro.opt.pass_manager.OptOptions` of
-    the O2+LTO pipeline.
-    """
-    profile = getattr(workload, "profile", None)
-    return (_KEY_SCHEMA,
-            workload.suite, workload.name,
-            _freeze(profile) if profile is not None else None,
-            config_cache_key(obfuscator_or_label),
-            _freeze(options) if options is not None else None)
-
-
 class VariantCache:
-    """LRU memo of built variants, keyed by :func:`variant_key`.
+    """Memo of built variants, keyed by :func:`variant_key`.
 
-    ``max_entries=None`` means unbounded (the evaluation matrices are small:
-    at most a few hundred variants).  ``hits``/``misses`` feed the benchmark
-    report; ``hit_rate`` is the fraction of lookups served from cache.
+    A façade over one :class:`~repro.store.artifact_store.ArtifactStore`
+    namespace (kind ``"variant"``).  ``max_entries`` bounds the in-process
+    LRU layer; ``None`` means unbounded (the evaluation matrices are small:
+    at most a few hundred variants).  ``hits``/``misses`` count this
+    process's lookups (a hit served from the store's disk layer is still a
+    hit — nothing was rebuilt); ``hit_rate`` is the fraction of lookups
+    served without building.
     """
 
-    def __init__(self, max_entries: Optional[int] = None):
+    def __init__(self, max_entries: Optional[int] = None,
+                 store: Optional[ArtifactStore] = None):
         if max_entries is not None and max_entries <= 0:
             raise ValueError("max_entries must be positive or None")
-        self.max_entries = max_entries
-        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        if store is None:
+            store = ArtifactStore(root=None, max_memory_entries=max_entries)
+        elif (max_entries is not None
+                and store.max_memory_entries != max_entries):
+            # the store owns the memory layer; a conflicting façade bound
+            # would be silently ignored, so reject it instead
+            raise ValueError(
+                f"max_entries={max_entries} conflicts with the supplied "
+                f"store's max_memory_entries={store.max_memory_entries}; "
+                f"bound the store at attach time instead")
+        self.max_entries = store.max_memory_entries
+        self._store = store
         self.hits = 0
         self.misses = 0
 
+    @property
+    def store(self) -> ArtifactStore:
+        """The backing artifact store (rooted for shared-on-disk caches)."""
+        return self._store
+
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._store.entry_count(KIND_VARIANT)
 
     def __contains__(self, key: Tuple) -> bool:
-        return key in self._entries
+        return self._store.contains(KIND_VARIANT, key)
 
     def get_or_build(self, key: Tuple, builder: Callable[[], object]):
-        """Return the cached artifact for ``key``, building it on first use."""
-        try:
-            artifact = self._entries[key]
-        except KeyError:
+        """Return the cached artifact for ``key``, building it on first use.
+
+        With a rooted store, a freshly built variant's lowered binary also
+        rides along under kind ``"binary"`` and the same key, so diff-only
+        consumers can fetch binaries from the shared tree without unpickling
+        whole :class:`~repro.toolchain.BuildArtifact` objects.
+        """
+        built = False
+
+        def tracked_builder():
+            nonlocal built
+            built = True
+            return builder()
+
+        artifact = self._store.get_or_build(KIND_VARIANT, key, tracked_builder)
+        if built:
             self.misses += 1
-            artifact = builder()
-            self._entries[key] = artifact
-            if (self.max_entries is not None
-                    and len(self._entries) > self.max_entries):
-                self._entries.popitem(last=False)
-            return artifact
-        self.hits += 1
-        self._entries.move_to_end(key)
+            if self._store.root is not None:
+                binary = getattr(artifact, "binary", None)
+                if binary is not None:
+                    self._store.put(KIND_BINARY, key, binary)
+        else:
+            self.hits += 1
         return artifact
 
     @property
@@ -161,28 +128,39 @@ class VariantCache:
         return self.hits / total if total else 0.0
 
     def stats(self) -> Dict[str, object]:
-        return {"entries": len(self._entries), "hits": self.hits,
+        return {"entries": len(self), "hits": self.hits,
                 "misses": self.misses, "hit_rate": round(self.hit_rate, 4)}
 
+    def store_stats(self) -> Dict[str, object]:
+        """The backing store's layer-by-layer counters (memory/disk/puts)."""
+        return self._store.stats()
+
     def clear(self) -> None:
-        self._entries.clear()
+        """Reset counters and drop the in-process layer.
+
+        Shared on-disk objects are deliberately left alone: they belong to
+        every attached process, not to this façade.
+        """
+        self._store.clear_memory()
+        self._store.reset_counters()
         self.hits = 0
         self.misses = 0
 
-    # -- disk persistence -------------------------------------------------------
+    # -- legacy single-pickle persistence ----------------------------------------
 
     def save(self, path: str) -> None:
-        """Persist the cached artifacts to ``path`` as a version-stamped pickle.
+        """Export the in-process entries to ``path`` (legacy pickle layout).
 
-        Written atomically (temp file + rename) so concurrent readers — e.g.
-        executor workers pre-loading from ``REPRO_VARIANT_CACHE_DIR`` — never
+        Written atomically (temp file + rename) so concurrent readers never
         observe a half-written file.  Hit/miss counters are *not* persisted;
-        they describe one process's lookups, not the artifacts.
+        they describe one process's lookups, not the artifacts.  For a
+        store-backed cache only the memory layer is exported — the on-disk
+        tree already persists everything and needs no second copy.
         """
         payload = {
             "version": CACHE_FILE_VERSION,
             "key_schema": _KEY_SCHEMA,
-            "entries": list(self._entries.items()),
+            "entries": self._store.memory_items(KIND_VARIANT),
         }
         directory = os.path.dirname(path)
         if directory:
@@ -192,14 +170,14 @@ class VariantCache:
             pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp_path, path)
 
-    @classmethod
-    def load(cls, path: str,
-             max_entries: Optional[int] = None) -> "VariantCache":
-        """Load a cache previously written by :meth:`save`.
+    def import_legacy(self, path: str) -> int:
+        """Seed the in-process layer from a :meth:`save`-format file.
 
-        Raises :class:`ValueError` when the file was written with a different
-        payload format or variant-key schema — a stale cache must never serve
-        artifacts built by an incompatible pipeline.
+        Returns the number of entries imported (the LRU bound applies, so
+        fewer may survive).  Raises :class:`ValueError` when the file was
+        written with a different payload format or variant-key schema — a
+        stale cache must never serve artifacts built by an incompatible
+        pipeline.
         """
         with open(path, "rb") as fh:
             payload = pickle.load(fh)
@@ -209,10 +187,15 @@ class VariantCache:
             raise ValueError(
                 f"incompatible variant cache file {path!r} "
                 f"(want version={CACHE_FILE_VERSION}, key_schema={_KEY_SCHEMA})")
+        entries = payload["entries"]
+        for key, artifact in entries:
+            self._store.preload(KIND_VARIANT, key, artifact)
+        return len(entries)
+
+    @classmethod
+    def load(cls, path: str,
+             max_entries: Optional[int] = None) -> "VariantCache":
+        """Load a cache previously written by :meth:`save`."""
         cache = cls(max_entries=max_entries)
-        for key, artifact in payload["entries"]:
-            cache._entries[key] = artifact
-            if (cache.max_entries is not None
-                    and len(cache._entries) > cache.max_entries):
-                cache._entries.popitem(last=False)
+        cache.import_legacy(path)
         return cache

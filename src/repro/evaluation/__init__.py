@@ -11,6 +11,8 @@ from .reporting import format_table, matrix_table, overhead_table
 from .experiments import EXPERIMENTS, Experiment, experiment_names, run_experiment
 from .executor import (reset_worker_cache, resolve_jobs, run_tasks,
                        worker_cache)
+from .sharding import (ShardBatch, measure_overhead_sharded,
+                       shard_overhead_matrix)
 
 __all__ = [
     "OverheadReport", "OverheadRow", "figure6", "figure7", "measure_overhead",
@@ -22,4 +24,5 @@ __all__ = [
     "format_table", "matrix_table", "overhead_table", "EXPERIMENTS",
     "Experiment", "experiment_names", "run_experiment",
     "reset_worker_cache", "resolve_jobs", "run_tasks", "worker_cache",
+    "ShardBatch", "measure_overhead_sharded", "shard_overhead_matrix",
 ]

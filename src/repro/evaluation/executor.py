@@ -1,10 +1,10 @@
 """Process-parallel execution of the evaluation experiment matrices.
 
-The diffing experiments (Figures 8, 9 and 10) iterate a (program × label ×
-tool) matrix in which every cell is a pure function of its inputs: workload
+The experiment matrices (Figures 6–10) iterate (program × label [× tool])
+grids in which every cell is a pure function of its inputs: workload
 synthesis, the obfuscators and the optimizer are all seeded, so a cell
 computes the same rows no matter where or when it runs.  That makes the
-matrix embarrassingly parallel — this module fans the cells across worker
+matrices embarrassingly parallel — this module fans the cells across worker
 processes with :mod:`concurrent.futures` while keeping the results
 bit-identical to a serial run:
 
@@ -12,13 +12,18 @@ bit-identical to a serial run:
   preserves submission order, and the serial order is exactly the loop order
   of the corresponding ``measure_*`` driver;
 * each worker process keeps one :class:`~repro.core.variant_cache.VariantCache`
-  (:func:`worker_cache`), so the baseline and the obfuscated variants are
-  built once per worker rather than once per cell, and optionally pre-loads
-  it from ``REPRO_VARIANT_CACHE_DIR`` (see
-  :meth:`~repro.core.variant_cache.VariantCache.load`);
+  (:func:`worker_cache`); with ``REPRO_STORE_DIR`` set, every worker
+  *attaches* to the one shared on-disk
+  :class:`~repro.store.artifact_store.ArtifactStore` tree — artifacts built
+  by any process are read (not rebuilt) by all the others.  The deprecated
+  ``REPRO_VARIANT_CACHE_DIR`` is still honoured: pointing at a store tree it
+  acts as an alias for ``REPRO_STORE_DIR``; pointing at a legacy
+  ``variants.pkl`` it seeds each worker's in-memory layer (the pre-store
+  behaviour);
 * ``jobs`` defaults to the ``REPRO_JOBS`` environment variable and, absent
   that, to 1 — results stay deterministic and tier-1-safe with no worker
-  processes at all.
+  processes at all.  Invalid counts (zero, negative, non-integer) raise
+  :class:`ValueError` at entry instead of failing deep inside the pool.
 """
 
 from __future__ import annotations
@@ -28,6 +33,8 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Optional, TypeVar
 
 from ..core.variant_cache import VariantCache, cache_file_path
+from ..store.artifact_store import (ArtifactStore, StoreError,
+                                    store_dir_from_env)
 
 Task = TypeVar("Task")
 Result = TypeVar("Result")
@@ -36,9 +43,12 @@ Result = TypeVar("Result")
 def resolve_jobs(jobs: Optional[int] = None) -> int:
     """Worker-process count: explicit ``jobs``, else ``REPRO_JOBS``, else 1.
 
-    ``0`` (or any non-positive count) means "all cores".  ``1`` runs the
-    tasks serially in-process — the default, so experiment results stay
-    deterministic and reproducible without any executor involvement.
+    ``1`` runs the tasks serially in-process — the default, so experiment
+    results stay deterministic and reproducible without any executor
+    involvement.  Anything that is not a positive integer — ``0``, a
+    negative count, a float, ``"many"`` in the environment — raises a
+    :class:`ValueError` here, at entry, rather than surfacing later as an
+    opaque pool failure.
     """
     if jobs is None:
         raw = os.environ.get("REPRO_JOBS", "").strip()
@@ -47,9 +57,19 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
         try:
             jobs = int(raw)
         except ValueError:
-            return 1
+            raise ValueError(
+                f"REPRO_JOBS must be a positive integer, got {raw!r}")
+        if jobs <= 0:
+            raise ValueError(
+                f"REPRO_JOBS must be a positive integer, got {raw!r}")
+        return jobs
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise ValueError(
+            f"jobs must be a positive integer, got {jobs!r}")
     if jobs <= 0:
-        return os.cpu_count() or 1
+        raise ValueError(
+            f"jobs must be a positive integer, got {jobs!r} "
+            f"(use jobs=os.cpu_count() for one worker per core)")
     return jobs
 
 
@@ -57,11 +77,12 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
 _WORKER_CACHE: Optional[VariantCache] = None
 
-#: Default LRU bound of each worker's cache.  Tasks are chunked one workload
-#: per worker (see :func:`matrix_chunksize`), so the working set is one
-#: workload's baseline + variants; an unbounded memo would instead pin every
-#: artifact a long-lived worker ever builds.  Override with
-#: ``REPRO_WORKER_CACHE_ENTRIES``.
+#: Default LRU bound of each worker's in-memory layer.  Tasks are chunked one
+#: workload per worker (see :func:`matrix_chunksize`), so the working set is
+#: one workload's baseline + variants; an unbounded memo would instead pin
+#: every artifact a long-lived worker ever touches.  Override with
+#: ``REPRO_WORKER_CACHE_ENTRIES``.  With a shared store attached the bound
+#: only limits *memory* — evicted artifacts remain one disk read away.
 DEFAULT_WORKER_CACHE_ENTRIES = 32
 
 
@@ -79,9 +100,12 @@ def _worker_cache_bound() -> Optional[int]:
 def worker_cache() -> VariantCache:
     """The process-local :class:`VariantCache` used by executor tasks.
 
-    Created on first use in each worker; if ``REPRO_VARIANT_CACHE_DIR``
-    names a directory with a saved cache, the worker starts from it (a
-    corrupt or incompatible file is ignored, not fatal).
+    Created on first use in each worker.  With ``REPRO_STORE_DIR`` (or a
+    store tree behind the deprecated ``REPRO_VARIANT_CACHE_DIR`` alias) the
+    cache attaches to the shared on-disk artifact store; a legacy
+    ``variants.pkl`` under ``REPRO_VARIANT_CACHE_DIR`` additionally seeds
+    the in-memory layer.  A corrupt or incompatible tree/file is ignored,
+    not fatal — builds are deterministic, so starting cold only costs time.
     """
     global _WORKER_CACHE
     if _WORKER_CACHE is None:
@@ -91,19 +115,28 @@ def worker_cache() -> VariantCache:
 
 def _initial_cache() -> VariantCache:
     bound = _worker_cache_bound()
+    store: Optional[ArtifactStore] = None
+    store_dir = store_dir_from_env()
+    if store_dir:
+        try:
+            store = ArtifactStore.attach(store_dir, max_memory_entries=bound)
+        except (StoreError, OSError):
+            # an unusable shared tree must never kill a worker
+            store = None
+    cache = VariantCache(max_entries=bound, store=store)
     directory = os.environ.get("REPRO_VARIANT_CACHE_DIR")
     if directory:
         path = cache_file_path(directory)
         if os.path.exists(path):
             try:
-                return VariantCache.load(path, max_entries=bound)
+                cache.import_legacy(path)
             except Exception:
                 # best-effort preload: a corrupt, truncated or stale file
                 # (UnpicklingError, AttributeError on renamed classes, ...)
                 # must never kill a worker — builds are deterministic, so
                 # starting empty only costs time
                 pass
-    return VariantCache(max_entries=bound)
+    return cache
 
 
 def reset_worker_cache() -> None:

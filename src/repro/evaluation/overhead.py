@@ -91,13 +91,27 @@ def build_variant(workload: WorkloadProgram, label: str,
 def measure_overhead(workloads: Sequence[WorkloadProgram],
                      labels: Sequence[str] = KHAOS_LABELS,
                      options: Optional[OptOptions] = None,
-                     cache: Optional[VariantCache] = None) -> OverheadReport:
+                     cache: Optional[VariantCache] = None,
+                     jobs: Optional[int] = None) -> OverheadReport:
     """Run every workload under the baseline and each obfuscation label.
 
     Passing a :class:`~repro.core.variant_cache.VariantCache` skips the build
     phase (obfuscate → optimize → lower) for variants already built by an
     earlier experiment; the VM measurement still executes every variant.
+
+    ``jobs > 1`` (or ``REPRO_JOBS``) shards the matrix one-workload-per-task
+    across worker processes (see :mod:`repro.evaluation.sharding`); workers
+    build through their own store-backed caches, so a passed ``cache``
+    applies to serial runs only — and an *explicit* ``cache`` is never
+    overridden by the ambient ``REPRO_JOBS`` (only an explicit ``jobs``
+    argument engages the executor then).  Row order and row contents are
+    identical either way; the serial loop remains the default and the
+    differential reference.
     """
+    from .executor import parallel_matrix
+    if parallel_matrix(jobs, cache):
+        from .sharding import measure_overhead_sharded
+        return measure_overhead_sharded(workloads, labels, options, jobs=jobs)
     report = OverheadReport()
     for workload in workloads:
         baseline = build_variant(workload, "baseline", options, cache)
@@ -113,20 +127,23 @@ def measure_overhead(workloads: Sequence[WorkloadProgram],
 
 def figure6(limit: Optional[int] = None,
             options: Optional[OptOptions] = None,
-            cache: Optional[VariantCache] = None) -> OverheadReport:
+            cache: Optional[VariantCache] = None,
+            jobs: Optional[int] = None) -> OverheadReport:
     """Figure 6: Khaos overhead on the SPEC CPU 2006/2017 programs."""
     workloads = spec2006_programs() + spec2017_programs()
     if limit is not None:
         workloads = workloads[:limit]
-    return measure_overhead(workloads, KHAOS_LABELS, options, cache)
+    return measure_overhead(workloads, KHAOS_LABELS, options, cache,
+                            jobs=jobs)
 
 
 def figure7(limit: Optional[int] = None,
             options: Optional[OptOptions] = None,
-            cache: Optional[VariantCache] = None) -> OverheadReport:
+            cache: Optional[VariantCache] = None,
+            jobs: Optional[int] = None) -> OverheadReport:
     """Figure 7: O-LLVM (Sub/Bog/Fla/Fla-10) vs Khaos overhead."""
     workloads = spec2006_programs() + spec2017_programs()
     if limit is not None:
         workloads = workloads[:limit]
     labels = ("sub", "bog", "fla", "fla-10") + tuple(KHAOS_LABELS)
-    return measure_overhead(workloads, labels, options, cache)
+    return measure_overhead(workloads, labels, options, cache, jobs=jobs)

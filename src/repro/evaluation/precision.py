@@ -16,11 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.variant_cache import VariantCache
+from ..core.variant_cache import VariantCache, variant_key
 from ..diffing import all_differs, precision_at_1
 from ..diffing.base import BinaryDiffer
 from ..opt.pass_manager import OptOptions
-from ..toolchain import ALL_LABELS
+from ..store.feature_payloads import persist_features, warm_features
+from ..toolchain import ALL_LABELS, obfuscator_for
 from ..workloads.suites import (WorkloadProgram, coreutils_programs,
                                 spec2006_programs, spec2017_programs)
 from .executor import (ephemeral_cache, matrix_chunksize, parallel_matrix,
@@ -72,15 +73,37 @@ class PrecisionReport:
 PrecisionTask = Tuple[WorkloadProgram, str, BinaryDiffer, Optional[OptOptions]]
 
 
+def _rooted_store(cache: Optional[VariantCache]):
+    """The cache's on-disk artifact store, when it has one."""
+    store = getattr(cache, "store", None)
+    return store if store is not None and store.root is not None else None
+
+
 def _precision_cell(workload: WorkloadProgram, label: str,
                     differ: BinaryDiffer, options: Optional[OptOptions],
                     cache: Optional[VariantCache]) -> PrecisionRow:
-    """Diff one (program, label, tool) cell — the unit of work of figure 8."""
+    """Diff one (program, label, tool) cell — the unit of work of figure 8.
+
+    With a store-backed cache the memoised diffing features of both binaries
+    ride along in the artifact store (kind ``"features"``): warmed before the
+    diff, persisted after.  Features are pure functions of the binaries, so
+    this only ever skips re-extraction — rows are identical with or without
+    the store.
+    """
     baseline = build_variant(workload, "baseline", options, cache)
     variant = build_variant(workload, label, options, cache)
+    store = _rooted_store(cache)
+    if store is not None:
+        baseline_key = variant_key(workload, "baseline", options)
+        label_key = variant_key(workload, obfuscator_for(label), options)
+        warm_features(store, baseline_key, baseline.binary)
+        warm_features(store, label_key, variant.binary)
     original_names = [f.name for f in baseline.binary.functions]
     result = differ.diff(baseline.binary, variant.binary)
     precision = precision_at_1(result, variant.provenance, original_names)
+    if store is not None:
+        persist_features(store, baseline_key, baseline.binary)
+        persist_features(store, label_key, variant.binary)
     return PrecisionRow(
         program=workload.name, suite=workload.suite,
         tool=differ.name, label=label, precision=precision,

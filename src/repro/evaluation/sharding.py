@@ -1,0 +1,111 @@
+"""Sharded/batched VM measurement for the overhead experiments (Figures 6/7).
+
+The overhead figures execute every (program × obfuscation) variant in the VM
+to collect dynamic cycle counts — the end-to-end bottleneck of the
+evaluation, and until now a strictly serial loop.  Every cell is a pure
+function of seeded inputs, so the matrix shards cleanly:
+
+* :func:`shard_overhead_matrix` partitions the matrix deterministically —
+  one shard per workload, in workload order, each shard carrying the full
+  label row.  Keeping a workload's baseline and variants on one shard means
+  no build is ever duplicated across workers and the baseline VM run is
+  shared by every row of the shard;
+* :class:`ShardBatch` is the per-shard measurement batch: it builds through
+  the worker's :func:`~repro.evaluation.executor.worker_cache` (which, with
+  ``REPRO_STORE_DIR`` set, attaches to the shared on-disk
+  :class:`~repro.store.artifact_store.ArtifactStore` — a warm tree rebuilds
+  nothing) and memoises one :func:`~repro.vm.machine.run_program` execution
+  per distinct variant, so the compiled-dispatch VM state is reused instead
+  of re-created when the same variant backs several rows (the baseline backs
+  all of them);
+* :func:`measure_overhead_sharded` fans the shards across the
+  :mod:`~repro.evaluation.executor` pool and flattens the results in shard
+  order — row-for-row identical to the serial loop, which stays the default
+  (``jobs=1``) and the differential reference
+  (``tests/test_sharding.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..opt.pass_manager import OptOptions
+from ..vm.batch import VMBatch
+from ..vm.machine import ExecutionResult
+from ..workloads.suites import WorkloadProgram
+from .executor import run_tasks, worker_cache
+from .overhead import OverheadReport, OverheadRow, build_variant
+
+#: One unit of parallel work: a workload with its full label row.
+OverheadShard = Tuple[WorkloadProgram, Tuple[str, ...], Optional[OptOptions]]
+
+
+def shard_overhead_matrix(workloads: Sequence[WorkloadProgram],
+                          labels: Sequence[str],
+                          options: Optional[OptOptions] = None
+                          ) -> List[OverheadShard]:
+    """Deterministic partitioning of the (program × label) matrix.
+
+    One shard per workload, in the caller's workload order; every shard
+    carries the whole label tuple.  The partition depends only on the
+    arguments, so any two schedulers (serial, ``jobs=2``, ``jobs=64``)
+    produce the same shards and hence the same report rows.
+    """
+    return [(workload, tuple(labels), options) for workload in workloads]
+
+
+class ShardBatch:
+    """One shard's batched VM measurements against one cache.
+
+    Builds go through ``cache`` (the worker's store-backed cache in the
+    pool, any :class:`~repro.core.variant_cache.VariantCache` serially) and
+    executions are memoised per variant — the baseline is executed once and
+    its cycle count shared by every row, exactly like the serial loop.
+    """
+
+    def __init__(self, workload: WorkloadProgram,
+                 options: Optional[OptOptions], cache):
+        self.workload = workload
+        self.options = options
+        self.cache = cache
+        self.vm = VMBatch()
+
+    def execute(self, label: str) -> ExecutionResult:
+        """Build (or fetch) the ``label`` variant and run it once per batch."""
+        artifact = build_variant(self.workload, label, self.options,
+                                 self.cache)
+        return self.vm.run(artifact.program)
+
+    def rows(self, labels: Sequence[str]) -> List[OverheadRow]:
+        baseline_cycles = self.execute("baseline").cycles
+        return [OverheadRow(program=self.workload.name,
+                            suite=self.workload.suite, label=label,
+                            baseline_cycles=baseline_cycles,
+                            cycles=self.execute(label).cycles)
+                for label in labels]
+
+
+def _overhead_shard(shard: OverheadShard) -> List[OverheadRow]:
+    """Executor entry point: one workload's rows via the worker's cache."""
+    workload, labels, options = shard
+    batch = ShardBatch(workload, options, worker_cache())
+    return batch.rows(labels)
+
+
+def measure_overhead_sharded(workloads: Sequence[WorkloadProgram],
+                             labels: Sequence[str],
+                             options: Optional[OptOptions] = None,
+                             jobs: Optional[int] = None) -> OverheadReport:
+    """The figure-6/7 matrix through the sharded scheduler.
+
+    Fans one shard per workload across the process pool (``chunksize=1`` —
+    shards are already workload-granular, so finer chunking cannot split a
+    workload's builds across workers) and concatenates the per-shard rows in
+    shard order.  Bit-identical to
+    :func:`~repro.evaluation.overhead.measure_overhead` run serially.
+    """
+    shards = shard_overhead_matrix(workloads, labels, options)
+    report = OverheadReport()
+    for rows in run_tasks(_overhead_shard, shards, jobs=jobs, chunksize=1):
+        report.rows.extend(rows)
+    return report

@@ -1,0 +1,35 @@
+"""Shared artifact store: compute each build artifact once per machine.
+
+The subsystem has three pieces:
+
+* :mod:`repro.store.keys` — freezes (workload profile, obfuscator config,
+  opt options) triples into stable, value-based key tuples (re-exported by
+  :mod:`repro.core.variant_cache` for backwards compatibility);
+* :mod:`repro.store.artifact_store` — the content-addressed
+  :class:`ArtifactStore`: in-process LRU over an atomic on-disk object tree
+  that any number of executor workers attach to concurrently, validated
+  cheaply through the :class:`GenerationLog` manifest;
+* :mod:`repro.store.feature_payloads` — persistence for the diffing
+  :class:`~repro.diffing.index.FeatureIndex` payloads keyed by the variant
+  that produced the binary.
+
+``REPRO_STORE_DIR`` names the shared tree; the pre-store
+``REPRO_VARIANT_CACHE_DIR`` single-pickle layout is still honoured (and the
+variable doubles as a store-dir alias when it points at a store tree).
+"""
+
+from .artifact_store import (KIND_BINARY, KIND_FEATURES, KIND_VARIANT,
+                             OBJECTS_DIR, STORE_SCHEMA, ArtifactStore,
+                             StoreError, canonical_key, is_store_tree,
+                             store_digest, store_dir_from_env)
+from .feature_payloads import features_key, persist_features, warm_features
+from .generation_log import GENERATION_LOG_NAME, GenerationLog
+from .keys import KEY_SCHEMA, config_cache_key, variant_key
+
+__all__ = [
+    "ArtifactStore", "StoreError", "GenerationLog", "GENERATION_LOG_NAME",
+    "KIND_VARIANT", "KIND_BINARY", "KIND_FEATURES", "OBJECTS_DIR",
+    "STORE_SCHEMA", "KEY_SCHEMA", "canonical_key", "store_digest",
+    "is_store_tree", "store_dir_from_env", "config_cache_key", "variant_key",
+    "features_key", "persist_features", "warm_features",
+]

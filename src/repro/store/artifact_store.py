@@ -1,0 +1,401 @@
+"""Content-addressed artifact store shared by every experiment process.
+
+The evaluation pipeline's artifacts — built variants
+(:class:`~repro.toolchain.BuildArtifact`), lowered
+:class:`~repro.backend.binary.Binary` objects, memoised
+:class:`~repro.diffing.index.FeatureIndex` payloads — are pure functions of
+their configuration: workload synthesis is profile-seeded, every obfuscator
+advertises a seeded ``cache_key()``, and the optimizer is deterministic.
+:class:`ArtifactStore` exploits that purity to compute each artifact once
+per *machine* rather than once per process:
+
+* keys are the frozen tuples of :func:`~repro.core.variant_cache.variant_key`
+  (workload profile × obfuscator ``cache_key()`` × ``OptOptions``), hashed
+  into a stable content address (:func:`store_digest`) under a *kind*
+  namespace (``"variant"``, ``"binary"``, ``"features"``);
+* an in-process LRU layer serves repeated lookups without touching disk;
+* the on-disk tree (``objects/<kind>/<aa>/<digest>.pkl``) is written with a
+  single-writer atomic protocol — temp file + ``os.replace`` — so any number
+  of concurrent executor workers can attach to one tree: a reader never sees
+  a half-written object, racing writers of one deterministic artifact simply
+  last-write an identical file, and a writer never clobbers an object that
+  already exists (first-writer-kept at the API level);
+* a :class:`~repro.store.generation_log.GenerationLog` manifest at the root
+  stamps the schema versions and ledgers the written digests, so a warm tree
+  is validated with one JSON read instead of an object scan.
+
+``root=None`` degrades to a pure in-memory LRU — exactly the pre-store
+:class:`~repro.core.variant_cache.VariantCache` behaviour, which is now a
+façade over this class.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import os
+import pickle
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple, TypeVar
+
+from .generation_log import GenerationLog
+from .keys import KEY_SCHEMA as _KEY_SCHEMA
+
+T = TypeVar("T")
+
+#: Bump when the object file layout or payload envelope changes incompatibly.
+STORE_SCHEMA = 1
+
+#: The artifact kinds the evaluation pipeline persists.
+KIND_VARIANT = "variant"
+KIND_BINARY = "binary"
+KIND_FEATURES = "features"
+
+#: Subdirectory holding the content-addressed object files.
+OBJECTS_DIR = "objects"
+
+
+def canonical_key(key: object) -> str:
+    """A stable textual form of a frozen cache key.
+
+    Keys are built by :func:`~repro.store.keys._freeze`, so they normally
+    only contain ``None``, booleans, numbers, strings, bytes and nested
+    tuples — all of which ``repr`` deterministically across processes and
+    sessions.  :class:`enum.Enum` members (singletons addressed by module /
+    class / member name) are accepted too, so pre-store cache keys that
+    embedded an enum keep working through the façade.  Anything else is
+    rejected: an identity-hashed component would silently never match again
+    after a round trip.
+    """
+    if key is None or isinstance(key, (bool, int, float, str, bytes)):
+        return repr(key)
+    if isinstance(key, enum.Enum):
+        cls = type(key)
+        return f"enum:{cls.__module__}.{cls.__qualname__}.{key.name}"
+    if isinstance(key, tuple):
+        return "(" + ",".join(canonical_key(item) for item in key) + ")"
+    raise TypeError(
+        f"store keys must be frozen value tuples, got {type(key).__name__}")
+
+
+def store_digest(kind: str, key: object) -> str:
+    """The content address of ``key`` inside the ``kind`` namespace."""
+    text = f"{kind}\n{canonical_key(key)}"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def is_store_tree(root: str) -> bool:
+    """Does ``root`` look like an :class:`ArtifactStore` tree?"""
+    return (os.path.isdir(os.path.join(root, OBJECTS_DIR))
+            or os.path.exists(GenerationLog.path_for(root)))
+
+
+def store_dir_from_env(environ=os.environ) -> Optional[str]:
+    """The shared store directory: ``REPRO_STORE_DIR``, with the deprecated
+    ``REPRO_VARIANT_CACHE_DIR`` honoured as an alias when it already holds a
+    store tree (a legacy ``variants.pkl``-only directory is not a store)."""
+    explicit = environ.get("REPRO_STORE_DIR")
+    if explicit:
+        return explicit
+    alias = environ.get("REPRO_VARIANT_CACHE_DIR")
+    if alias and is_store_tree(alias):
+        return alias
+    return None
+
+
+class StoreError(ValueError):
+    """An on-disk tree that cannot be used (schema mismatch, damaged manifest)."""
+
+
+class ArtifactStore:
+    """LRU-fronted, content-addressed, multi-process-safe artifact store.
+
+    One instance per process; any number of processes may attach to the same
+    ``root``.  All lookups go memory → disk → build; every build is persisted
+    before it is returned, so sibling workers observe it on their next miss.
+    """
+
+    def __init__(self, root: Optional[str] = None,
+                 max_memory_entries: Optional[int] = None):
+        if max_memory_entries is not None and max_memory_entries <= 0:
+            raise ValueError("max_memory_entries must be positive or None")
+        self.root = os.path.abspath(root) if root else None
+        self.max_memory_entries = max_memory_entries
+        self._memory: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
+        #: (kind, digest) -> key, kept alongside the LRU for introspection
+        self._keys: Dict[Tuple[str, str], object] = {}
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.puts = 0
+        self._log: Optional[GenerationLog] = None
+        if self.root is not None:
+            self._attach_tree()
+
+    # -- attach / validation -----------------------------------------------------
+
+    @classmethod
+    def attach(cls, root: str,
+               max_memory_entries: Optional[int] = None) -> "ArtifactStore":
+        """Attach to (creating if needed) the store tree at ``root``.
+
+        Raises :class:`StoreError` when the tree was written by an
+        incompatible pipeline — a stale tree must never serve artifacts.
+        """
+        return cls(root=root, max_memory_entries=max_memory_entries)
+
+    def _attach_tree(self) -> None:
+        assert self.root is not None
+        os.makedirs(os.path.join(self.root, OBJECTS_DIR), exist_ok=True)
+        try:
+            log = GenerationLog.load(self.root)
+        except ValueError as error:
+            raise StoreError(f"cannot attach store at {self.root!r}: {error}")
+        if log is None:
+            log = GenerationLog(store_schema=STORE_SCHEMA,
+                                key_schema=_KEY_SCHEMA)
+            log.save(self.root)
+        elif (log.store_schema != STORE_SCHEMA
+                or log.key_schema != _KEY_SCHEMA):
+            raise StoreError(
+                f"incompatible store at {self.root!r}: tree has "
+                f"store_schema={log.store_schema} key_schema={log.key_schema}, "
+                f"this pipeline needs {STORE_SCHEMA}/{_KEY_SCHEMA}")
+        self._log = log
+
+    @property
+    def generation_log(self) -> Optional[GenerationLog]:
+        return self._log
+
+    def warm_entries(self, kind: Optional[str] = None) -> int:
+        """Entries the manifest advertises — the cheap warm-start signal."""
+        return self._log.count(kind) if self._log is not None else 0
+
+    # -- paths -------------------------------------------------------------------
+
+    def object_path(self, kind: str, digest: str) -> str:
+        if self.root is None:
+            raise ValueError("in-memory store has no object paths")
+        return os.path.join(self.root, OBJECTS_DIR, kind, digest[:2],
+                            f"{digest}.pkl")
+
+    # -- the lookup protocol -----------------------------------------------------
+
+    def get_or_build(self, kind: str, key: object,
+                     builder: Callable[[], T]) -> T:
+        """The artifact for ``(kind, key)``: memory, then disk, then build.
+
+        A freshly built artifact is persisted (root permitting) before it is
+        returned.  Artifacts are shared between callers and processes, so
+        they must be treated as immutable.
+        """
+        digest = store_digest(kind, key)
+        slot = (kind, digest)
+        try:
+            payload = self._memory[slot]
+        except KeyError:
+            pass
+        else:
+            self.memory_hits += 1
+            self._memory.move_to_end(slot)
+            return payload  # type: ignore[return-value]
+        payload = self._read_object(kind, digest, key)
+        if payload is not _MISSING:
+            self.disk_hits += 1
+            self._remember(slot, key, payload)
+            return payload  # type: ignore[return-value]
+        self.misses += 1
+        payload = builder()
+        self._remember(slot, key, payload)
+        self._write_object(kind, digest, key, payload)
+        return payload
+
+    def get(self, kind: str, key: object, default: object = None) -> object:
+        """The stored artifact, or ``default`` — never builds."""
+        digest = store_digest(kind, key)
+        slot = (kind, digest)
+        if slot in self._memory:
+            self.memory_hits += 1
+            self._memory.move_to_end(slot)
+            return self._memory[slot]
+        payload = self._read_object(kind, digest, key)
+        if payload is _MISSING:
+            return default
+        self.disk_hits += 1
+        self._remember(slot, key, payload)
+        return payload
+
+    def put(self, kind: str, key: object, payload: object,
+            overwrite: bool = False) -> str:
+        """Store ``payload`` under ``(kind, key)``; returns its digest.
+
+        By default first-writer-kept: an object already on disk is left
+        untouched (deterministic artifacts make both copies identical
+        anyway).  ``overwrite=True`` replaces it atomically —
+        last-writer-wins, used for payloads that grow over time (e.g. merged
+        feature snapshots); a reader still only ever sees a complete file.
+        """
+        digest = store_digest(kind, key)
+        self._remember((kind, digest), key, payload)
+        self._write_object(kind, digest, key, payload, overwrite=overwrite)
+        return digest
+
+    def contains(self, kind: str, key: object) -> bool:
+        digest = store_digest(kind, key)
+        if (kind, digest) in self._memory:
+            return True
+        if self.root is None:
+            return False
+        return os.path.exists(self.object_path(kind, digest))
+
+    def entry_count(self, kind: str) -> int:
+        """Distinct artifacts of ``kind`` reachable through this store."""
+        digests = {digest for (k, digest) in self._memory if k == kind}
+        if self.root is not None:
+            kind_dir = os.path.join(self.root, OBJECTS_DIR, kind)
+            if os.path.isdir(kind_dir):
+                for shard in os.listdir(kind_dir):
+                    shard_dir = os.path.join(kind_dir, shard)
+                    if not os.path.isdir(shard_dir):
+                        continue
+                    for name in os.listdir(shard_dir):
+                        if name.endswith(".pkl"):
+                            digests.add(name[:-len(".pkl")])
+        return len(digests)
+
+    def keys(self, kind: str) -> List[object]:
+        """The keys of ``kind`` held in the memory layer, LRU order."""
+        return [self._keys[slot] for slot in self._memory if slot[0] == kind]
+
+    def memory_items(self, kind: str) -> List[Tuple[object, object]]:
+        """``(key, payload)`` pairs of the memory layer, LRU order."""
+        return [(self._keys[slot], payload)
+                for slot, payload in self._memory.items() if slot[0] == kind]
+
+    def preload(self, kind: str, key: object, payload: object) -> None:
+        """Seed the memory layer without touching disk or any counter.
+
+        Used to import artifacts from the legacy single-pickle cache format:
+        they become ordinary memory entries (subject to the LRU bound) but
+        are not re-persisted — the legacy file stays the owner of its copy.
+        """
+        self._remember((kind, store_digest(kind, key)), key, payload)
+
+    # -- memory layer ------------------------------------------------------------
+
+    def _remember(self, slot: Tuple[str, str], key: object,
+                  payload: object) -> None:
+        self._memory[slot] = payload
+        self._memory.move_to_end(slot)
+        self._keys[slot] = key
+        if (self.max_memory_entries is not None
+                and len(self._memory) > self.max_memory_entries):
+            evicted, _ = self._memory.popitem(last=False)
+            self._keys.pop(evicted, None)
+
+    def clear_memory(self) -> None:
+        """Drop the in-process layer (disk objects are untouched)."""
+        self._memory.clear()
+        self._keys.clear()
+
+    def reset_counters(self) -> None:
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    # -- disk layer --------------------------------------------------------------
+
+    def _read_object(self, kind: str, digest: str, key: object) -> object:
+        if self.root is None:
+            return _MISSING
+        path = self.object_path(kind, digest)
+        try:
+            with open(path, "rb") as fh:
+                envelope = pickle.load(fh)
+        except FileNotFoundError:
+            return _MISSING
+        except Exception:
+            # truncated / corrupt / unpicklable object: builds are
+            # deterministic, so treating it as a miss only costs time
+            return _MISSING
+        if (not isinstance(envelope, dict)
+                or envelope.get("store_schema") != STORE_SCHEMA
+                or envelope.get("key_schema") != _KEY_SCHEMA
+                or envelope.get("kind") != kind
+                or envelope.get("key") != key):
+            return _MISSING
+        return envelope["payload"]
+
+    def _write_object(self, kind: str, digest: str, key: object,
+                      payload: object, overwrite: bool = False) -> None:
+        if self.root is None:
+            return
+        path = self.object_path(kind, digest)
+        if not overwrite and os.path.exists(path):
+            return  # first-writer-kept
+        envelope = {"store_schema": STORE_SCHEMA, "key_schema": _KEY_SCHEMA,
+                    "kind": kind, "key": key, "payload": payload}
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp_path, "wb") as fh:
+                pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except Exception:
+            # persistence is an optimisation; never fail the build for it
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            return
+        self.puts += 1
+        if self._log is not None:
+            try:
+                self._log.append_entry(self.root, digest, kind,
+                                       note=_key_note(key))
+            except OSError:
+                # the ledger is advisory; losing a line only dims the
+                # warm-start signal, never the artifacts
+                self._log.record(digest, kind, note=_key_note(key))
+
+    # -- reporting ---------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "root": self.root,
+            "memory_entries": len(self._memory),
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class _Missing:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<missing>"
+
+
+_MISSING = _Missing()
+
+
+def _key_note(key: object, limit: int = 120) -> str:
+    """A short human-readable summary of a key for the generation log."""
+    try:
+        text = canonical_key(key)
+    except TypeError:
+        text = repr(key)
+    return text if len(text) <= limit else text[:limit - 3] + "..."

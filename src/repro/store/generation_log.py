@@ -1,0 +1,153 @@
+"""The store's generation manifest: cheap warm-start validation.
+
+An :class:`~repro.store.artifact_store.ArtifactStore` tree is only usable by
+a process whose build pipeline speaks the same *store schema* (object file
+layout) and *key schema* (how :func:`~repro.store.keys.variant_key` freezes
+configurations).  The :class:`GenerationLog` records both at the root of the
+tree (``generation.json``) together with a digest → description ledger of
+every artifact written (``generation.entries``), so attaching a warm tree
+costs two small reads instead of a full object scan, and an incompatible
+tree is rejected before a single stale artifact can be served.
+
+The manifest is *advisory*: the object files are the truth.  The schema
+stamps are written once, atomically, when the tree is created; entries are
+*appended* — one JSON line per artifact, a single short ``O_APPEND`` write,
+which POSIX keeps atomic, so any number of concurrent writers interleave
+whole lines, per-put cost stays O(1) no matter how large the tree grows,
+and a torn or duplicated line at worst under-reports an entry (it is
+re-discovered by a directory scan) — it can never corrupt the ledger or
+resurrect artifacts that were never written.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+#: File name of the schema-stamp manifest at the store root.
+GENERATION_LOG_NAME = "generation.json"
+
+#: File name of the append-only entry ledger at the store root.
+GENERATION_ENTRIES_NAME = "generation.entries"
+
+
+class GenerationLog:
+    """Schema stamp + entry ledger of one on-disk artifact store tree."""
+
+    def __init__(self, store_schema: int, key_schema: int,
+                 entries: Optional[Dict[str, Dict[str, object]]] = None,
+                 generation: int = 0):
+        self.store_schema = store_schema
+        self.key_schema = key_schema
+        #: digest -> {"kind": ..., "note": ...}
+        self.entries: Dict[str, Dict[str, object]] = dict(entries or {})
+        #: bumped on every save; lets tools spot tree (re)creation cheaply
+        self.generation = generation
+
+    # -- (de)serialisation -------------------------------------------------------
+
+    @staticmethod
+    def path_for(root: str) -> str:
+        return os.path.join(root, GENERATION_LOG_NAME)
+
+    @staticmethod
+    def entries_path_for(root: str) -> str:
+        return os.path.join(root, GENERATION_ENTRIES_NAME)
+
+    @classmethod
+    def load(cls, root: str) -> Optional["GenerationLog"]:
+        """The manifest of ``root``, or ``None`` when the tree has none.
+
+        Raises :class:`ValueError` on malformed stamp JSON or a payload that
+        is not a manifest — a damaged manifest means the tree cannot be
+        validated cheaply, and the caller must decide whether to rebuild or
+        reject.  Damaged *ledger* lines are skipped, not fatal: the ledger
+        is advisory and append-raced by design.
+        """
+        path = cls.path_for(root)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as error:
+            raise ValueError(f"unreadable generation log {path!r}: {error}")
+        if (not isinstance(payload, dict)
+                or not isinstance(payload.get("store_schema"), int)
+                or not isinstance(payload.get("key_schema"), int)):
+            raise ValueError(f"malformed generation log {path!r}")
+        log = cls(store_schema=payload["store_schema"],
+                  key_schema=payload["key_schema"],
+                  generation=int(payload.get("generation", 0)))
+        log._load_entries(root)
+        return log
+
+    def _load_entries(self, root: str) -> None:
+        path = self.entries_path_for(root)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError:
+            return
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn trailing line: advisory, skip
+            digest = entry.get("digest") if isinstance(entry, dict) else None
+            if isinstance(digest, str):
+                self.entries[digest] = {"kind": entry.get("kind"),
+                                        "note": entry.get("note", "")}
+
+    def save(self, root: str) -> None:
+        """Write the schema stamps atomically (entries live in the ledger)."""
+        on_disk = None
+        try:
+            on_disk = GenerationLog.load(root)
+        except ValueError:
+            pass  # a damaged manifest is replaced wholesale
+        if on_disk is not None:
+            self.generation = max(self.generation, on_disk.generation)
+        self.generation += 1
+        payload = {"store_schema": self.store_schema,
+                   "key_schema": self.key_schema,
+                   "generation": self.generation}
+        path = self.path_for(root)
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        with open(tmp_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp_path, path)
+
+    # -- validation --------------------------------------------------------------
+
+    def compatible_with(self, other: "GenerationLog") -> bool:
+        return (self.store_schema == other.store_schema
+                and self.key_schema == other.key_schema)
+
+    def record(self, digest: str, kind: str, note: str = "") -> None:
+        """Record an entry in memory only (see :meth:`append_entry`)."""
+        self.entries[digest] = {"kind": kind, "note": note}
+
+    def append_entry(self, root: str, digest: str, kind: str,
+                     note: str = "") -> None:
+        """Record an entry and append one ledger line — O(1) per artifact."""
+        self.record(digest, kind, note)
+        line = json.dumps({"digest": digest, "kind": kind, "note": note},
+                          sort_keys=True) + "\n"
+        fd = os.open(self.entries_path_for(root),
+                     os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+
+    def count(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return len(self.entries)
+        return sum(1 for entry in self.entries.values()
+                   if entry.get("kind") == kind)

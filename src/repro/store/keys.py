@@ -1,0 +1,99 @@
+"""Stable artifact keys: workload profile × obfuscator config × opt options.
+
+The paper's pipeline compiles every workload "under O2 with LTO" once per
+obfuscation configuration, and workload synthesis plus every obfuscator are
+seeded, so a built variant is a pure function of ``(workload, obfuscation
+config, optimization options)``.  These helpers freeze that triple into a
+hashable, *value-based* tuple — the key space shared by the in-memory
+:class:`~repro.core.variant_cache.VariantCache` façade and the on-disk
+:class:`~repro.store.artifact_store.ArtifactStore` (which content-addresses
+the frozen tuples, see :func:`~repro.store.artifact_store.store_digest`).
+
+Obfuscators advertise their configuration through a ``cache_key()`` method
+(see :meth:`repro.core.config.KhaosConfig.cache_key`), so two obfuscators
+with the same label but different knobs never collide.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+#: Bump when the build pipeline changes incompatibly (key schema version).
+KEY_SCHEMA = 1
+
+
+def _freeze(value) -> object:
+    """Recursively convert ``value`` into a hashable key component."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (type(value).__name__,) + tuple(
+            (f.name, _freeze(getattr(value, f.name)))
+            for f in dataclasses.fields(value))
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def _value_based(frozen) -> bool:
+    """True when ``frozen`` compares by value (safe inside a cache key).
+
+    Arbitrary objects hash by identity, so embedding them in a key would
+    defeat cache sharing between logically identical configurations — and
+    never match again after a disk round trip.
+    """
+    if frozen is None or isinstance(frozen, (str, bytes, int, float, bool)):
+        return True
+    if isinstance(frozen, tuple):
+        return all(_value_based(item) for item in frozen)
+    return False
+
+
+def config_cache_key(obfuscator_or_label) -> object:
+    """The configuration component of a variant key.
+
+    Accepts a plain label string (e.g. ``"baseline"``) or any obfuscator
+    object; objects exposing ``cache_key()`` use it, others fall back to
+    their ``label`` plus frozen public configuration.
+    """
+    if isinstance(obfuscator_or_label, str):
+        return obfuscator_or_label
+    cache_key = getattr(obfuscator_or_label, "cache_key", None)
+    if callable(cache_key):
+        return cache_key()
+    # fallback: freeze the public configuration too, so two instances with
+    # the same label but different knobs never collide
+    config = []
+    for name in sorted(getattr(obfuscator_or_label, "__dict__", {})):
+        if name.startswith("_") or name == "label":
+            continue
+        value = getattr(obfuscator_or_label, name)
+        if callable(value):
+            continue
+        frozen = _freeze(value)
+        if not _value_based(frozen):
+            # identity-hashed objects would never match across instances or
+            # a disk round trip; fall back to their (stable-enough) repr
+            frozen = repr(value)
+        config.append((name, frozen))
+    return (type(obfuscator_or_label).__name__,
+            getattr(obfuscator_or_label, "label", "?"),
+            tuple(config))
+
+
+def variant_key(workload, obfuscator_or_label, options=None) -> Tuple:
+    """Cache key for one built variant.
+
+    ``workload`` is a :class:`~repro.workloads.suites.WorkloadProgram` (its
+    *whole* profile pins the synthesised IR — every knob, not just the seed);
+    ``obfuscator_or_label`` identifies the obfuscation configuration incl.
+    its seed; ``options`` the :class:`~repro.opt.pass_manager.OptOptions` of
+    the O2+LTO pipeline.
+    """
+    profile = getattr(workload, "profile", None)
+    return (KEY_SCHEMA,
+            workload.suite, workload.name,
+            _freeze(profile) if profile is not None else None,
+            config_cache_key(obfuscator_or_label),
+            _freeze(options) if options is not None else None)

@@ -1,0 +1,84 @@
+"""Batched VM measurement: one execution per distinct program per batch.
+
+The overhead experiments (Figures 6/7) execute every built variant in the
+interpreter to collect dynamic cycle counts, and several report rows can be
+backed by the *same* variant — every row of a workload shares its baseline's
+cycle count, and sweep-style drivers may revisit a variant under several
+headings.  Execution is deterministic (the VM is seeded through the
+program), so re-running a program inside one measurement batch is pure
+waste.
+
+:class:`VMBatch` is the measurement unit the sharded scheduler
+(:mod:`repro.evaluation.sharding`) hands to each worker: it memoises one
+:func:`~repro.vm.machine.run_program` execution per program, keyed by
+program identity (the artifact cache already guarantees one program object
+per variant within a shard).  The memo lives and dies with the batch —
+across batches every variant is measured afresh, exactly like the serial
+figure drivers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir.module import Program
+from .costs import CostModel
+from .machine import ExecutionResult, run_program
+
+
+class VMBatch:
+    """Memoised ``run_program`` over one batch of measurements.
+
+    ``compiled``/``cost_model``/``max_steps`` pin the execution
+    configuration for the whole batch (mixing configurations in one batch
+    would let a memoised result cross configurations — create one batch per
+    configuration instead).
+    """
+
+    def __init__(self, compiled: Optional[bool] = None,
+                 cost_model: Optional[CostModel] = None,
+                 max_steps: int = 5_000_000):
+        self.compiled = compiled
+        self.cost_model = cost_model
+        self.max_steps = max_steps
+        # the memoised program is held strongly alongside its result: a
+        # memo keyed on a bare id() would serve a dead program's result
+        # when CPython recycles the id for a new allocation (the sibling
+        # FeatureIndex cache guards the same hazard with a weakref); the
+        # strong reference pins the id for the (short) life of the batch
+        self._results: Dict[int, Tuple[Program, ExecutionResult]] = {}
+        self.executions = 0
+        self.memo_hits = 0
+
+    def run(self, program: Program) -> ExecutionResult:
+        """Execute ``program`` once per batch; later calls reuse the result."""
+        key = id(program)
+        entry = self._results.get(key)
+        if entry is not None and entry[0] is program:
+            self.memo_hits += 1
+            return entry[1]
+        self.executions += 1
+        result = run_program(program, max_steps=self.max_steps,
+                             cost_model=self.cost_model,
+                             compiled=self.compiled)
+        self._results[key] = (program, result)
+        return result
+
+    def cycles(self, program: Program) -> int:
+        return self.run(program).cycles
+
+
+def run_batch(programs: Sequence[Program],
+              compiled: Optional[bool] = None,
+              cost_model: Optional[CostModel] = None,
+              max_steps: int = 5_000_000) -> List[ExecutionResult]:
+    """Execute a sequence of programs as one batch, in order.
+
+    Duplicate program objects are executed once and their result repeated in
+    the output — positionally identical to calling
+    :func:`~repro.vm.machine.run_program` in a loop (execution is
+    deterministic), just without the redundant work.
+    """
+    batch = VMBatch(compiled=compiled, cost_model=cost_model,
+                    max_steps=max_steps)
+    return [batch.run(program) for program in programs]

@@ -7,8 +7,6 @@ serial reports exactly (same rows, same order, same floats).  Also covers
 ``escape_ratio`` signature.
 """
 
-import os
-
 import pytest
 
 from repro.diffing import Asm2Vec, BinDiff, escape_ratio
@@ -34,12 +32,38 @@ class TestResolveJobs:
         monkeypatch.setenv("REPRO_JOBS", "4")
         assert resolve_jobs() == 4
 
-    def test_garbage_env_var_falls_back_to_serial(self, monkeypatch):
+    def test_garbage_env_var_raises(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "many")
-        assert resolve_jobs() == 1
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            resolve_jobs()
 
-    def test_zero_means_all_cores(self):
-        assert resolve_jobs(0) == (os.cpu_count() or 1)
+    def test_zero_and_negative_raise(self):
+        for bad in (0, -1, -8):
+            with pytest.raises(ValueError, match="positive integer"):
+                resolve_jobs(bad)
+
+    def test_zero_and_negative_env_raise(self, monkeypatch):
+        for bad in ("0", "-2"):
+            monkeypatch.setenv("REPRO_JOBS", bad)
+            with pytest.raises(ValueError, match="REPRO_JOBS"):
+                resolve_jobs()
+
+    def test_non_integer_raises(self):
+        for bad in (2.5, "4", True):
+            with pytest.raises(ValueError, match="positive integer"):
+                resolve_jobs(bad)
+
+    def test_drivers_reject_bad_jobs_at_entry(self):
+        """The ValueError must surface before any pool/build work starts."""
+        with pytest.raises(ValueError, match="positive integer"):
+            measure_precision(WORKLOADS[:1], labels=("fission",), jobs=0)
+        from repro.evaluation import measure_overhead
+        with pytest.raises(ValueError, match="positive integer"):
+            measure_overhead(WORKLOADS[:1], labels=("fission",), jobs=-3)
+
+    def test_empty_env_var_is_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "  ")
+        assert resolve_jobs() == 1
 
 
 class TestRunTasks:
