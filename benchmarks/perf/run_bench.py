@@ -32,7 +32,14 @@ can diff the perf trajectory.  Tracked metrics:
   scheduler (:mod:`repro.evaluation.sharding`) and the shared artifact store
   (``REPRO_STORE_DIR``): serial vs ``jobs=2`` row-identity, cold vs
   warm-attach timings, and the store's hit/miss/put counters — a warm attach
-  must rebuild **zero** variants.
+  must rebuild **zero** variants;
+* **fig8_function_sharded** — the figure-8 precision matrix through the
+  *function-granularity* diff sharding
+  (:mod:`repro.evaluation.diff_sharding`) over a shared store: serial
+  reference vs cold shard run vs ``jobs=2`` vs warm re-attach timings, all
+  asserted row-identical; a warm run must adopt every per-function diff
+  payload from the tree, re-score **zero** units and rebuild **zero**
+  ``FeatureIndex`` payloads.
 
 Set ``REPRO_VARIANT_CACHE_DIR`` to also exercise the legacy disk-persisted
 variant cache (save → reload round trip; adds a ``disk_cache`` section).
@@ -75,7 +82,8 @@ MEASURE_LABELS = ("fission", "fufi.ori")
 #: Keys every result file must contain (checked by --smoke).
 REQUIRED_KEYS = ("schema", "config", "vm", "fig6_measure_loop",
                  "fig6_end_to_end", "pipeline", "variant_cache",
-                 "fig8_diff_phase", "fig67_sharded")
+                 "fig8_diff_phase", "fig67_sharded",
+                 "fig8_function_sharded")
 
 
 def best_of(fn: Callable[[], object], reps: int) -> float:
@@ -383,6 +391,82 @@ def bench_fig67_sharded(programs, reps: int) -> Dict[str, object]:
     }
 
 
+def bench_fig8_function_sharded(programs, reps: int) -> Dict[str, object]:
+    """Figure 8 through the function-granularity diff sharding + the store.
+
+    Times the serial reference, a cold sharded run against a fresh store
+    tree (every unit scored and persisted under its per-function shard key),
+    a ``jobs=2`` run over the now-warm tree, and a warm serial re-attach —
+    which must adopt every diff payload, re-score zero units and rebuild
+    zero ``FeatureIndex`` payloads (asserted structurally by --smoke).
+    """
+    from repro.evaluation.diff_sharding import (DiffShardStats,
+                                                measure_precision_sharded)
+    from repro.evaluation.executor import reset_worker_cache
+
+    labels = MEASURE_LABELS
+    # jobs=1 pins the differential reference to the serial loop even when an
+    # ambient REPRO_JOBS would otherwise engage the executor
+    reference = measure_precision(programs, labels=labels, jobs=1)
+    serial_s = best_of(
+        lambda: measure_precision(programs, labels=labels, jobs=1), reps)
+
+    base_dir = os.environ.get("REPRO_STORE_DIR")
+    if base_dir:
+        os.makedirs(base_dir, exist_ok=True)
+        store_root = tempfile.mkdtemp(prefix="fig8-", dir=base_dir)
+        cleanup_dir = None
+    else:
+        cleanup_dir = tempfile.TemporaryDirectory(prefix="fig8-store-")
+        store_root = cleanup_dir.name
+    previous_store = os.environ.get("REPRO_STORE_DIR")
+    os.environ["REPRO_STORE_DIR"] = store_root
+    reset_worker_cache()
+    try:
+        def timed_run(jobs, stats):
+            reset_worker_cache()
+            gc.collect()
+            start = time.perf_counter()
+            report = measure_precision_sharded(programs, labels=labels,
+                                               jobs=jobs, stats=stats)
+            return report, time.perf_counter() - start
+
+        cold_stats = DiffShardStats()
+        cold, cold_s = timed_run(1, cold_stats)
+        jobs2_stats = DiffShardStats()
+        jobs2, jobs2_s = timed_run(2, jobs2_stats)
+        warm_stats = DiffShardStats()
+        warm, warm_s = timed_run(1, warm_stats)
+    finally:
+        reset_worker_cache()
+        if previous_store is None:
+            os.environ.pop("REPRO_STORE_DIR", None)
+        else:
+            os.environ["REPRO_STORE_DIR"] = previous_store
+        if cleanup_dir is not None:
+            cleanup_dir.cleanup()
+
+    return {
+        "programs": [wp.name for wp in programs],
+        "labels": list(labels),
+        "rows": len(reference.rows),
+        "serial_s": round(serial_s, 4),
+        "cold_shard_s": round(cold_s, 4),
+        "jobs2_s": round(jobs2_s, 4),
+        "warm_shard_s": round(warm_s, 4),
+        "warm_shard_speedup": round(cold_s / warm_s, 2) if warm_s else None,
+        "warm_feature_rebuilds": warm_stats.features_persisted,
+        "stats": {"cold": cold_stats.as_dict(),
+                  "jobs2": jobs2_stats.as_dict(),
+                  "warm": warm_stats.as_dict()},
+        "identical": {
+            "cold": cold.rows == reference.rows,
+            "jobs2": jobs2.rows == reference.rows,
+            "warm": warm.rows == reference.rows,
+        },
+    }
+
+
 def bench_disk_cache(programs) -> Dict[str, object]:
     """Save → reload round trip of the variant cache (REPRO_VARIANT_CACHE_DIR)."""
     directory = os.environ["REPRO_VARIANT_CACHE_DIR"]
@@ -451,6 +535,24 @@ def check_results(results: Dict[str, object]) -> List[str]:
             problems.append("warm store attach served no disk hits")
         if store.get("cold", {}).get("puts", 0) <= 0:
             problems.append("cold store run persisted no artifacts")
+    fig8_sharded = results.get("fig8_function_sharded", {})
+    if fig8_sharded:
+        identical = fig8_sharded.get("identical", {})
+        for name in ("cold", "jobs2", "warm"):
+            if not identical.get(name, False):
+                problems.append(f"fig8 function-sharded {name} run diverged "
+                                f"from the serial reference")
+        if fig8_sharded.get("warm_feature_rebuilds", -1) != 0:
+            problems.append("a warm fig8 shard run rebuilt FeatureIndex payloads")
+        warm = fig8_sharded.get("stats", {}).get("warm", {})
+        if warm.get("units_scored", -1) != 0:
+            problems.append("a warm fig8 shard run re-scored units the store "
+                            "already held")
+        if warm.get("units_from_store", 0) <= 0:
+            problems.append("warm fig8 shard run adopted no stored diff payloads")
+        if fig8_sharded.get("stats", {}).get("cold", {}).get(
+                "diff_payloads_persisted", 0) <= 0:
+            problems.append("cold fig8 shard run persisted no diff payloads")
     if os.environ.get("REPRO_VARIANT_CACHE_DIR"):
         disk = results.get("disk_cache")
         if not disk:
@@ -485,7 +587,7 @@ def main(argv=None) -> int:
         reps = 5
 
     results = {
-        "schema": 4,
+        "schema": 5,
         "config": {"quick": bool(args.quick or args.smoke), "reps": reps,
                    "python": sys.version.split()[0],
                    "variant_cache_dir":
@@ -502,6 +604,8 @@ def main(argv=None) -> int:
                                                  max(1, reps // 2)),
         "fig67_sharded": bench_fig67_sharded(loop_programs,
                                              max(1, reps // 2)),
+        "fig8_function_sharded": bench_fig8_function_sharded(
+            loop_programs, max(1, reps // 2)),
     }
     if os.environ.get("REPRO_VARIANT_CACHE_DIR"):
         results["disk_cache"] = bench_disk_cache(loop_programs)
@@ -532,6 +636,12 @@ def main(argv=None) -> int:
           f"({fs['warm_attach_speedup']}x, {fs['warm_attach_rebuilds']} "
           f"rebuilds), jobs=2 {fs['jobs2_s']}s, "
           f"identical={fs['identical']}")
+    f8 = results["fig8_function_sharded"]
+    print(f"fig8 fn-sharded:   serial {f8['serial_s']}s, cold shards "
+          f"{f8['cold_shard_s']}s, jobs=2 {f8['jobs2_s']}s -> warm "
+          f"{f8['warm_shard_s']}s ({f8['warm_shard_speedup']}x, "
+          f"{f8['warm_feature_rebuilds']} feature rebuilds, "
+          f"identical={f8['identical']})")
     if "disk_cache" in results:
         dc = results["disk_cache"]
         print(f"disk cache:        {dc['saved_entries']} entries -> "

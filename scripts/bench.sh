@@ -8,10 +8,14 @@
 # timing-sensitive assertions, and the tracked results file is not touched.
 # The smoke run also exercises the parallel experiment executor (the harness
 # re-runs the figure-8 diff phase at jobs=2 and asserts row-identity), the
-# legacy disk-persisted variant cache (REPRO_VARIANT_CACHE_DIR round trip)
-# and the shared artifact store (REPRO_STORE_DIR: the fig67_sharded section
+# legacy disk-persisted variant cache (REPRO_VARIANT_CACHE_DIR round trip),
+# the shared artifact store (REPRO_STORE_DIR: the fig67_sharded section
 # must leave a store tree with an objects/ dir and a generation.json
-# manifest, warm attaches must rebuild zero variants).
+# manifest, warm attaches must rebuild zero variants) and the
+# function-granularity diff sharding (fig8_function_sharded: serial vs
+# jobs=2 vs warm-store row identity, warm runs adopt every per-function
+# diff payload and rebuild zero FeatureIndex payloads, and the fig8 store
+# tree must hold objects/diff).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,9 +43,15 @@ if [[ "${1:-}" == "--smoke" ]]; then
     echo "smoke: artifact store tree (objects/ + generation.json) was not produced" >&2
     exit 1
   fi
+  fig8_tree=("$REPRO_STORE_DIR"/fig8-*)
+  if [[ ! -d "${fig8_tree[0]}/objects/diff" || ! -s "${fig8_tree[0]}/generation.json" ]]; then
+    echo "smoke: fig8 function-sharded store tree (objects/diff + generation.json) was not produced" >&2
+    exit 1
+  fi
   echo "smoke: benchmark harness produced BENCH_results.json"
   echo "smoke: variant cache persisted and round-tripped"
   echo "smoke: artifact store tree persisted (objects/ + generation.json)"
+  echo "smoke: fig8 function-sharded round trip verified (objects/diff persisted, serial == jobs=2 == warm)"
   exit 0
 fi
 

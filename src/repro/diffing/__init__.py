@@ -2,8 +2,9 @@
 
 from typing import Dict, List
 
-from .base import (BinaryDiffer, DiffResult, ToolInfo, escape_at_n,
-                   escape_ratio, precision_at_1, use_indexed_features)
+from .base import (MATCH_CHANNEL, BinaryDiffer, DiffResult, PartialDiff,
+                   ToolInfo, escape_at_n, escape_ratio, precision_at_1,
+                   rank_of_correct, use_indexed_features)
 from .index import (FeatureIndex, clear_index_cache, feature_index,
                     index_cache_size)
 from .bindiff import BinDiff
@@ -31,8 +32,9 @@ def tool_table() -> List[Dict[str, str]]:
 
 
 __all__ = [
-    "BinaryDiffer", "DiffResult", "ToolInfo", "escape_at_n", "escape_ratio",
-    "precision_at_1", "use_indexed_features", "FeatureIndex",
+    "MATCH_CHANNEL", "BinaryDiffer", "DiffResult", "PartialDiff", "ToolInfo",
+    "escape_at_n", "escape_ratio", "precision_at_1", "rank_of_correct",
+    "use_indexed_features", "FeatureIndex",
     "clear_index_cache", "feature_index", "index_cache_size",
     "BinDiff", "VulSeeker", "Asm2Vec", "Safe", "DeepBinDiff",
     "all_differs", "differ_by_name", "tool_table",

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional
 
 from ..backend.binary import Binary, BinaryFunction
 from ..utils import stable_hash
-from .base import BinaryDiffer, DiffResult, ToolInfo
+from .base import MATCH_CHANNEL, BinaryDiffer, ToolInfo
 from .features import (EMBEDDING_DIM, NormalizedVector, add_scaled,
                        embed_block, vector_similarity)
 from .index import FeatureIndex
@@ -85,9 +85,12 @@ class Asm2Vec(BinaryDiffer):
         return {f.name: NormalizedVector(self._function_embedding(f, None))
                 for f in binary.functions}
 
-    def _diff(self, original: Binary, obfuscated: Binary,
-              original_index: Optional[FeatureIndex],
-              obfuscated_index: Optional[FeatureIndex]) -> DiffResult:
+    def cache_key(self) -> tuple:
+        return ("asm2vec", self.walks, self.walk_length, self.dim)
+
+    def _pair_scorers(self, original: Binary, obfuscated: Binary,
+                      original_index: Optional[FeatureIndex],
+                      obfuscated_index: Optional[FeatureIndex]):
         original_embeddings = self._embeddings(original, original_index)
         obfuscated_embeddings = self._embeddings(obfuscated, obfuscated_index)
 
@@ -95,8 +98,4 @@ class Asm2Vec(BinaryDiffer):
             return vector_similarity(original_embeddings[a.name],
                                      obfuscated_embeddings[b.name])
 
-        matches = self.rank_by_similarity(original, obfuscated, similarity)
-        score = self.whole_binary_score(matches, original, obfuscated)
-        return DiffResult(tool=self.name, original=original.name,
-                          obfuscated=obfuscated.name, matches=matches,
-                          similarity_score=score)
+        return {MATCH_CHANNEL: similarity}

@@ -16,10 +16,10 @@ no index is given the tool re-extracts per diff — the legacy reference path.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Optional
 
 from ..backend.binary import Binary, BinaryFunction
-from .base import BinaryDiffer, DiffResult, ToolInfo
+from .base import MATCH_CHANNEL, BinaryDiffer, ToolInfo
 from .features import function_numeric_features, structural_similarity_features
 from .index import FeatureIndex
 
@@ -42,9 +42,12 @@ class BinDiff(BinaryDiffer):
         callees = {f.name: binary.callees_of(f.name) for f in binary.functions}
         return structural, callees
 
-    def _diff(self, original: Binary, obfuscated: Binary,
-              original_index: Optional[FeatureIndex],
-              obfuscated_index: Optional[FeatureIndex]) -> DiffResult:
+    def cache_key(self) -> tuple:
+        return ("bindiff", self.name_weight, self.callgraph_weight)
+
+    def _pair_scorers(self, original: Binary, obfuscated: Binary,
+                      original_index: Optional[FeatureIndex],
+                      obfuscated_index: Optional[FeatureIndex]):
         original_struct, original_callees = self._features_of(original,
                                                               original_index)
         obfuscated_struct, obfuscated_callees = self._features_of(
@@ -80,12 +83,11 @@ class BinDiff(BinaryDiffer):
             return (0.85 * structural_similarity(a, b)
                     + 0.15 * callgraph_similarity(a, b))
 
-        matches = self.rank_by_similarity(original, obfuscated, similarity)
-        # the whole-binary score follows BinDiff's per-pair similarity, which is
-        # structural; symbol names only steer the matching itself
-        structural_matches = self.rank_by_similarity(original, obfuscated,
-                                                     structural_only)
-        score = self.whole_binary_score(structural_matches, original, obfuscated)
-        return DiffResult(tool=self.name, original=original.name,
-                          obfuscated=obfuscated.name, matches=matches,
-                          similarity_score=score)
+        return {MATCH_CHANNEL: similarity, "structural": structural_only}
+
+    def _finalize_score(self, matches, channels, original_functions,
+                        obfuscated_functions) -> float:
+        # the whole-binary score follows BinDiff's per-pair similarity, which
+        # is structural; symbol names only steer the matching itself
+        return self.assignment_score(channels["structural"],
+                                     original_functions, obfuscated_functions)

@@ -38,11 +38,21 @@ class DeepBinDiff(BinaryDiffer):
                     symbol_relying=False, time_consuming=True,
                     memory_consuming=True, callgraph_lacking=False)
 
+    #: DeepBinDiff matches *basic blocks*; a function's candidate ranking
+    #: emerges from cross-granularity block votes rather than from a
+    #: per-function-pair similarity, so the diff sharding falls back to
+    #: whole binary pairs for it (the only non-pairwise-decomposable tool).
+    shard_granularity = "binary"
+
     def __init__(self, dim: int = EMBEDDING_DIM, max_block_candidates: int = 3,
                  vote_sharpness: int = 3):
         self.dim = dim
         self.max_block_candidates = max_block_candidates
         self.vote_sharpness = vote_sharpness
+
+    def cache_key(self) -> tuple:
+        return ("deepbindiff", self.dim, self.max_block_candidates,
+                self.vote_sharpness)
 
     # -- embeddings -----------------------------------------------------------------
 

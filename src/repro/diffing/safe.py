@@ -19,7 +19,7 @@ import math
 from typing import Dict, List, Optional
 
 from ..backend.binary import Binary, BinaryFunction
-from .base import BinaryDiffer, DiffResult, ToolInfo
+from .base import MATCH_CHANNEL, BinaryDiffer, ToolInfo
 from .features import (EMBEDDING_DIM, NormalizedVector, add_scaled,
                        cached_token_vector, instruction_bag,
                        vector_similarity)
@@ -88,9 +88,12 @@ class Safe(BinaryDiffer):
         return {f.name: NormalizedVector(self._function_embedding(f, None))
                 for f in binary.functions}
 
-    def _diff(self, original: Binary, obfuscated: Binary,
-              original_index: Optional[FeatureIndex],
-              obfuscated_index: Optional[FeatureIndex]) -> DiffResult:
+    def cache_key(self) -> tuple:
+        return ("safe", self.dim, self.max_instructions)
+
+    def _pair_scorers(self, original: Binary, obfuscated: Binary,
+                      original_index: Optional[FeatureIndex],
+                      obfuscated_index: Optional[FeatureIndex]):
         original_embeddings = self._embeddings(original, original_index)
         obfuscated_embeddings = self._embeddings(obfuscated, obfuscated_index)
 
@@ -98,8 +101,4 @@ class Safe(BinaryDiffer):
             return vector_similarity(original_embeddings[a.name],
                                      obfuscated_embeddings[b.name])
 
-        matches = self.rank_by_similarity(original, obfuscated, similarity)
-        score = self.whole_binary_score(matches, original, obfuscated)
-        return DiffResult(tool=self.name, original=original.name,
-                          obfuscated=obfuscated.name, matches=matches,
-                          similarity_score=score)
+        return {MATCH_CHANNEL: similarity}

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..backend.binary import Binary, BinaryFunction
-from .base import BinaryDiffer, DiffResult, ToolInfo
+from .base import MATCH_CHANNEL, BinaryDiffer, ToolInfo
 from .features import (BLOCK_FEATURE_NAMES, NormalizedVector, aggregate,
                        block_numeric_features, propagate_over_cfg,
                        vector_similarity)
@@ -60,9 +60,12 @@ class VulSeeker(BinaryDiffer):
         return {f.name: NormalizedVector(self._function_embedding(f, None))
                 for f in binary.functions}
 
-    def _diff(self, original: Binary, obfuscated: Binary,
-              original_index: Optional[FeatureIndex],
-              obfuscated_index: Optional[FeatureIndex]) -> DiffResult:
+    def cache_key(self) -> tuple:
+        return ("vulseeker", self.iterations)
+
+    def _pair_scorers(self, original: Binary, obfuscated: Binary,
+                      original_index: Optional[FeatureIndex],
+                      obfuscated_index: Optional[FeatureIndex]):
         original_embeddings = self._embeddings(original, original_index)
         obfuscated_embeddings = self._embeddings(obfuscated, obfuscated_index)
 
@@ -70,8 +73,4 @@ class VulSeeker(BinaryDiffer):
             return vector_similarity(original_embeddings[a.name],
                                      obfuscated_embeddings[b.name])
 
-        matches = self.rank_by_similarity(original, obfuscated, similarity)
-        score = self.whole_binary_score(matches, original, obfuscated)
-        return DiffResult(tool=self.name, original=original.name,
-                          obfuscated=obfuscated.name, matches=matches,
-                          similarity_score=score)
+        return {MATCH_CHANNEL: similarity}

@@ -13,6 +13,9 @@ from .executor import (reset_worker_cache, resolve_jobs, run_tasks,
                        worker_cache)
 from .sharding import (ShardBatch, measure_overhead_sharded,
                        shard_overhead_matrix)
+from .diff_sharding import (DiffShardStats, measure_bintuner_sharded,
+                            measure_escape_sharded, measure_precision_sharded,
+                            resolve_diff_shards, shard_diff_matrix)
 
 __all__ = [
     "OverheadReport", "OverheadRow", "figure6", "figure7", "measure_overhead",
@@ -25,4 +28,6 @@ __all__ = [
     "Experiment", "experiment_names", "run_experiment",
     "reset_worker_cache", "resolve_jobs", "run_tasks", "worker_cache",
     "ShardBatch", "measure_overhead_sharded", "shard_overhead_matrix",
+    "DiffShardStats", "measure_bintuner_sharded", "measure_escape_sharded",
+    "measure_precision_sharded", "resolve_diff_shards", "shard_diff_matrix",
 ]

@@ -107,10 +107,19 @@ def measure_bintuner(workloads: Sequence[WorkloadProgram],
                      jobs: Optional[int] = None) -> BinTunerReport:
     """Figure 9's measurement loop.
 
-    ``jobs > 1`` (or ``REPRO_JOBS``) runs one task per workload across
-    processes; rows and the overhead geomean are assembled in workload order,
-    so the report is bit-identical to a serial run.
+    ``jobs > 1`` (or ``REPRO_JOBS``) shards each workload into one task per
+    protection scheme across processes (see
+    :func:`~repro.evaluation.diff_sharding.measure_bintuner_sharded`,
+    binary-pair granularity — the row value is the whole-binary similarity);
+    rows and the overhead geomean are assembled in workload order, so the
+    report is bit-identical to the serial loop, which stays the default and
+    the differential reference.
     """
+    from .executor import parallel_matrix
+    if parallel_matrix(jobs, None):
+        from .diff_sharding import measure_bintuner_sharded
+        return measure_bintuner_sharded(workloads, tuner_iterations,
+                                        jobs=jobs)
     report = BinTunerReport()
     overheads: List[float] = []
     tasks: List[BinTunerTask] = [(workload, tuner_iterations)

@@ -11,15 +11,14 @@ their top-1 match) and Fla runs at a 100% ratio here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..core.variant_cache import VariantCache
 from ..diffing import Asm2Vec, Safe, VulSeeker
-from ..diffing.base import BinaryDiffer, escape_at_n
+from ..diffing.base import BinaryDiffer
 from ..opt.pass_manager import OptOptions
 from ..workloads.suites import WorkloadProgram, embedded_programs
-from .executor import (ephemeral_cache, matrix_chunksize, parallel_matrix,
-                       run_tasks, worker_cache)
+from .executor import ephemeral_cache, parallel_matrix
 from .overhead import build_variant
 
 ESCAPE_LABELS = ("sub", "bog", "fla", "fufi.sep", "fufi.ori", "fufi.all")
@@ -64,10 +63,6 @@ def escape_differs() -> List[BinaryDiffer]:
     return [VulSeeker(), Asm2Vec(), Safe()]
 
 
-#: One cell of the figure-10 matrix, picklable for the process executor.
-EscapeTask = Tuple[WorkloadProgram, str, BinaryDiffer, Optional[OptOptions]]
-
-
 def _escape_cell(workload: WorkloadProgram, label: str, differ: BinaryDiffer,
                  options: Optional[OptOptions],
                  cache: Optional[VariantCache]) -> List[EscapeRow]:
@@ -86,12 +81,6 @@ def _escape_cell(workload: WorkloadProgram, label: str, differ: BinaryDiffer,
     return rows
 
 
-def _escape_task(task: EscapeTask) -> List[EscapeRow]:
-    """Executor entry point: one cell against the worker's variant cache."""
-    workload, label, differ, options = task
-    return _escape_cell(workload, label, differ, options, worker_cache())
-
-
 def measure_escape(workloads: Sequence[WorkloadProgram],
                    labels: Sequence[str] = ESCAPE_LABELS,
                    differs: Optional[Sequence[BinaryDiffer]] = None,
@@ -100,24 +89,20 @@ def measure_escape(workloads: Sequence[WorkloadProgram],
                    jobs: Optional[int] = None) -> EscapeReport:
     """Rank the vulnerable functions of every workload under every label.
 
-    ``jobs > 1`` (or ``REPRO_JOBS``) distributes (program × label × tool)
-    cells across processes; every cell is deterministic, so the report is
-    bit-identical to a serial run.  An *explicit* ``cache`` is never
-    overridden by the ambient ``REPRO_JOBS`` (only an explicit ``jobs``
-    argument engages the executor then).
+    ``jobs > 1`` (or ``REPRO_JOBS``) shards the (program × label × tool)
+    matrix at *function* granularity across processes (see
+    :mod:`~repro.evaluation.diff_sharding`); every unit is deterministic and
+    the merge is too, so the report is bit-identical to a serial run.  An
+    *explicit* ``cache`` is never overridden by the ambient ``REPRO_JOBS``
+    (only an explicit ``jobs`` argument engages the executor then).
     """
     differs = list(differs) if differs is not None else escape_differs()
     vulnerable_workloads = [w for w in workloads if w.vulnerable_functions]
     report = EscapeReport()
     if parallel_matrix(jobs, cache):
-        tasks: List[EscapeTask] = [
-            (workload, label, differ, options)
-            for workload in vulnerable_workloads
-            for label in labels for differ in differs]
-        for rows in run_tasks(_escape_task, tasks, jobs=jobs,
-                              chunksize=matrix_chunksize(labels, differs)):
-            report.rows.extend(rows)
-        return report
+        from .diff_sharding import measure_escape_sharded
+        return measure_escape_sharded(workloads, labels, differs, options,
+                                      jobs=jobs)
     if cache is None:
         cache = ephemeral_cache(labels)
     for workload in vulnerable_workloads:

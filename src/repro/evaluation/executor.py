@@ -40,47 +40,55 @@ Task = TypeVar("Task")
 Result = TypeVar("Result")
 
 
+def resolve_positive_int(value: Optional[int], env_var: str, default: int,
+                         param: str, hint: str = "") -> int:
+    """Shared parser of the executor's positive-integer knobs.
+
+    An explicit argument wins over the environment; anything that is not a
+    positive integer — ``0``, a negative count, a float, ``"many"`` in the
+    environment — raises :class:`ValueError` here, at entry, rather than
+    surfacing later as an opaque pool failure.
+    """
+    if value is None:
+        raw = os.environ.get(env_var, "").strip()
+        if not raw:
+            return default
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{env_var} must be a positive integer, got {raw!r}")
+        if value <= 0:
+            raise ValueError(
+                f"{env_var} must be a positive integer, got {raw!r}")
+        return value
+    if isinstance(value, bool) or not isinstance(value, int) or value <= 0:
+        raise ValueError(
+            f"{param} must be a positive integer, got {value!r}{hint}")
+    return value
+
+
 def resolve_jobs(jobs: Optional[int] = None) -> int:
     """Worker-process count: explicit ``jobs``, else ``REPRO_JOBS``, else 1.
 
     ``1`` runs the tasks serially in-process — the default, so experiment
     results stay deterministic and reproducible without any executor
-    involvement.  Anything that is not a positive integer — ``0``, a
-    negative count, a float, ``"many"`` in the environment — raises a
-    :class:`ValueError` here, at entry, rather than surfacing later as an
-    opaque pool failure.
+    involvement.  Invalid counts raise :class:`ValueError` at entry (see
+    :func:`resolve_positive_int`).
     """
-    if jobs is None:
-        raw = os.environ.get("REPRO_JOBS", "").strip()
-        if not raw:
-            return 1
-        try:
-            jobs = int(raw)
-        except ValueError:
-            raise ValueError(
-                f"REPRO_JOBS must be a positive integer, got {raw!r}")
-        if jobs <= 0:
-            raise ValueError(
-                f"REPRO_JOBS must be a positive integer, got {raw!r}")
-        return jobs
-    if isinstance(jobs, bool) or not isinstance(jobs, int):
-        raise ValueError(
-            f"jobs must be a positive integer, got {jobs!r}")
-    if jobs <= 0:
-        raise ValueError(
-            f"jobs must be a positive integer, got {jobs!r} "
-            f"(use jobs=os.cpu_count() for one worker per core)")
-    return jobs
+    return resolve_positive_int(
+        jobs, "REPRO_JOBS", 1, "jobs",
+        hint=" (use jobs=os.cpu_count() for one worker per core)")
 
 
 # -- per-worker variant cache ---------------------------------------------------------
 
 _WORKER_CACHE: Optional[VariantCache] = None
 
-#: Default LRU bound of each worker's in-memory layer.  Tasks are chunked one
-#: workload per worker (see :func:`matrix_chunksize`), so the working set is
-#: one workload's baseline + variants; an unbounded memo would instead pin
-#: every artifact a long-lived worker ever touches.  Override with
+#: Default LRU bound of each worker's in-memory layer.  Shards keep a small
+#: working set (one workload's baseline + variants at a time); an unbounded
+#: memo would instead pin every artifact a long-lived worker ever touches.
+#: Override with
 #: ``REPRO_WORKER_CACHE_ENTRIES``.  With a shared store attached the bound
 #: only limits *memory* — evicted artifacts remain one disk read away.
 DEFAULT_WORKER_CACHE_ENTRIES = 32
@@ -148,6 +156,12 @@ def reset_worker_cache() -> None:
 # -- experiment-matrix helpers --------------------------------------------------------
 
 
+def rooted_store(cache) -> Optional[ArtifactStore]:
+    """The cache's on-disk artifact store, when it has one."""
+    store = getattr(cache, "store", None)
+    return store if store is not None and store.root is not None else None
+
+
 def parallel_matrix(jobs: Optional[int], cache) -> bool:
     """Should a ``measure_*`` driver dispatch its matrix to the executor?
 
@@ -157,15 +171,6 @@ def parallel_matrix(jobs: Optional[int], cache) -> bool:
     (workers cannot share the caller's in-process cache).
     """
     return resolve_jobs(jobs) > 1 and (cache is None or jobs is not None)
-
-
-def matrix_chunksize(labels, differs) -> int:
-    """Chunk one workload's whole (label × tool) block per worker.
-
-    Task lists are workload-major, so this keeps each workload's baseline
-    and variants on exactly one process — no duplicated builds.
-    """
-    return max(1, len(labels) * len(differs))
 
 
 def ephemeral_cache(labels) -> VariantCache:

@@ -5,16 +5,17 @@ diffed against each obfuscated build by each of the five tools; Precision@1 is
 computed with the relaxed pairing rule (provenance-based).  Figure 8 reports
 the average per (tool, obfuscation) pair over T-I and T-II.
 
-``jobs`` (or ``REPRO_JOBS``) fans the (program × label × tool) matrix across
-worker processes via :mod:`repro.evaluation.executor`; every cell is a pure
-function of seeded inputs, so the parallel report is bit-identical to the
-serial one (the default).
+``jobs`` (or ``REPRO_JOBS``) fans the matrix across worker processes at
+*function* granularity via :mod:`repro.evaluation.diff_sharding`; every cell
+is a pure function of seeded inputs and the merge layer is deterministic, so
+the parallel report is bit-identical to the serial one (the default, and the
+differential reference).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..core.variant_cache import VariantCache, variant_key
 from ..diffing import all_differs, precision_at_1
@@ -24,8 +25,7 @@ from ..store.feature_payloads import persist_features, warm_features
 from ..toolchain import ALL_LABELS, obfuscator_for
 from ..workloads.suites import (WorkloadProgram, coreutils_programs,
                                 spec2006_programs, spec2017_programs)
-from .executor import (ephemeral_cache, matrix_chunksize, parallel_matrix,
-                       run_tasks, worker_cache)
+from .executor import ephemeral_cache, parallel_matrix, rooted_store
 from .overhead import build_variant
 
 
@@ -69,16 +69,6 @@ class PrecisionReport:
                 for tool in self.tools()}
 
 
-#: One cell of the figure-8 matrix, picklable for the process executor.
-PrecisionTask = Tuple[WorkloadProgram, str, BinaryDiffer, Optional[OptOptions]]
-
-
-def _rooted_store(cache: Optional[VariantCache]):
-    """The cache's on-disk artifact store, when it has one."""
-    store = getattr(cache, "store", None)
-    return store if store is not None and store.root is not None else None
-
-
 def _precision_cell(workload: WorkloadProgram, label: str,
                     differ: BinaryDiffer, options: Optional[OptOptions],
                     cache: Optional[VariantCache]) -> PrecisionRow:
@@ -92,7 +82,7 @@ def _precision_cell(workload: WorkloadProgram, label: str,
     """
     baseline = build_variant(workload, "baseline", options, cache)
     variant = build_variant(workload, label, options, cache)
-    store = _rooted_store(cache)
+    store = rooted_store(cache)
     if store is not None:
         baseline_key = variant_key(workload, "baseline", options)
         label_key = variant_key(workload, obfuscator_for(label), options)
@@ -110,12 +100,6 @@ def _precision_cell(workload: WorkloadProgram, label: str,
         similarity_score=result.similarity_score)
 
 
-def _precision_task(task: PrecisionTask) -> PrecisionRow:
-    """Executor entry point: one cell against the worker's variant cache."""
-    workload, label, differ, options = task
-    return _precision_cell(workload, label, differ, options, worker_cache())
-
-
 def measure_precision(workloads: Sequence[WorkloadProgram],
                       labels: Sequence[str] = ALL_LABELS,
                       differs: Optional[Sequence[BinaryDiffer]] = None,
@@ -126,23 +110,21 @@ def measure_precision(workloads: Sequence[WorkloadProgram],
 
     A shared :class:`~repro.core.variant_cache.VariantCache` lets this reuse
     the variants the overhead experiments already built (and vice versa).
-    ``jobs > 1`` (or ``REPRO_JOBS``) distributes the cells across processes;
-    workers build through their own process-local caches, so a passed
-    ``cache`` applies to serial runs only — and an *explicit* ``cache`` is
-    never overridden by the ambient ``REPRO_JOBS`` (only an explicit
-    ``jobs`` argument engages the executor then).  Row order and row
-    contents are identical either way.
+    ``jobs > 1`` (or ``REPRO_JOBS``) shards the matrix at *function*
+    granularity across processes (see
+    :mod:`~repro.evaluation.diff_sharding`); workers build through their own
+    store-backed caches, so a passed ``cache`` applies to serial runs only —
+    and an *explicit* ``cache`` is never overridden by the ambient
+    ``REPRO_JOBS`` (only an explicit ``jobs`` argument engages the executor
+    then).  Row order and row contents are identical either way; the serial
+    loop remains the default and the differential reference.
     """
     differs = list(differs) if differs is not None else all_differs()
     report = PrecisionReport()
     if parallel_matrix(jobs, cache):
-        tasks: List[PrecisionTask] = [
-            (workload, label, differ, options)
-            for workload in workloads for label in labels for differ in differs]
-        report.rows.extend(run_tasks(
-            _precision_task, tasks, jobs=jobs,
-            chunksize=matrix_chunksize(labels, differs)))
-        return report
+        from .diff_sharding import measure_precision_sharded
+        return measure_precision_sharded(workloads, labels, differs, options,
+                                         jobs=jobs)
     if cache is None:
         cache = ephemeral_cache(labels)
     for workload in workloads:

@@ -11,25 +11,31 @@ The subsystem has three pieces:
   cheaply through the :class:`GenerationLog` manifest;
 * :mod:`repro.store.feature_payloads` — persistence for the diffing
   :class:`~repro.diffing.index.FeatureIndex` payloads keyed by the variant
-  that produced the binary.
+  that produced the binary;
+* :mod:`repro.store.diff_payloads` — persistence for per-function partial
+  diff results (kind ``"diff"``), keyed by (tool config, baseline variant,
+  obfuscated variant, source function) for the function-granularity diff
+  sharding.
 
 ``REPRO_STORE_DIR`` names the shared tree; the pre-store
 ``REPRO_VARIANT_CACHE_DIR`` single-pickle layout is still honoured (and the
 variable doubles as a store-dir alias when it points at a store tree).
 """
 
-from .artifact_store import (KIND_BINARY, KIND_FEATURES, KIND_VARIANT,
-                             OBJECTS_DIR, STORE_SCHEMA, ArtifactStore,
-                             StoreError, canonical_key, is_store_tree,
-                             store_digest, store_dir_from_env)
+from .artifact_store import (KIND_BINARY, KIND_DIFF, KIND_FEATURES,
+                             KIND_VARIANT, OBJECTS_DIR, STORE_SCHEMA,
+                             ArtifactStore, StoreError, canonical_key,
+                             is_store_tree, store_digest, store_dir_from_env)
+from .diff_payloads import diff_pair_key
 from .feature_payloads import features_key, persist_features, warm_features
 from .generation_log import GENERATION_LOG_NAME, GenerationLog
 from .keys import KEY_SCHEMA, config_cache_key, variant_key
 
 __all__ = [
     "ArtifactStore", "StoreError", "GenerationLog", "GENERATION_LOG_NAME",
-    "KIND_VARIANT", "KIND_BINARY", "KIND_FEATURES", "OBJECTS_DIR",
-    "STORE_SCHEMA", "KEY_SCHEMA", "canonical_key", "store_digest",
-    "is_store_tree", "store_dir_from_env", "config_cache_key", "variant_key",
-    "features_key", "persist_features", "warm_features",
+    "KIND_VARIANT", "KIND_BINARY", "KIND_FEATURES", "KIND_DIFF",
+    "OBJECTS_DIR", "STORE_SCHEMA", "KEY_SCHEMA", "canonical_key",
+    "store_digest", "is_store_tree", "store_dir_from_env", "config_cache_key",
+    "variant_key", "diff_pair_key", "features_key", "persist_features",
+    "warm_features",
 ]

@@ -44,12 +44,18 @@ from .keys import KEY_SCHEMA as _KEY_SCHEMA
 T = TypeVar("T")
 
 #: Bump when the object file layout or payload envelope changes incompatibly.
-STORE_SCHEMA = 1
+#: 2: the ``diff`` kind landed (persisted per-function partial diff results).
+#: Attaching refuses a tree stamped with an older schema (StoreError; the
+#: executor then degrades to storeless builds) — delete or repoint
+#: ``REPRO_STORE_DIR`` to get a fresh tree; artifacts are deterministic, so
+#: repopulating it only costs time.
+STORE_SCHEMA = 2
 
 #: The artifact kinds the evaluation pipeline persists.
 KIND_VARIANT = "variant"
 KIND_BINARY = "binary"
 KIND_FEATURES = "features"
+KIND_DIFF = "diff"
 
 #: Subdirectory holding the content-addressed object files.
 OBJECTS_DIR = "objects"

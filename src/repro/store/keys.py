@@ -20,19 +20,29 @@ import dataclasses
 from typing import Tuple
 
 #: Bump when the build pipeline changes incompatibly (key schema version).
-KEY_SCHEMA = 1
+#: 2: container kinds are tagged in the frozen form — an empty dict and an
+#: empty list used to both freeze to ``()`` (and ``{"a": 1}`` collided with
+#: ``[("a", 1)]``), so structurally different configurations could share a
+#: digest; ``tests/test_store_keys_properties.py`` pins collision-freedom.
+KEY_SCHEMA = 2
 
 
 def _freeze(value) -> object:
-    """Recursively convert ``value`` into a hashable key component."""
+    """Recursively convert ``value`` into a hashable key component.
+
+    Mappings and sequences freeze to *tagged* tuples so different container
+    kinds can never canonicalize to the same component; mapping items are
+    sorted, making the frozen form insertion-order-insensitive.
+    """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return (type(value).__name__,) + tuple(
             (f.name, _freeze(getattr(value, f.name)))
             for f in dataclasses.fields(value))
     if isinstance(value, dict):
-        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+        return ("dict",) + tuple(sorted((k, _freeze(v))
+                                        for k, v in value.items()))
     if isinstance(value, (list, tuple)):
-        return tuple(_freeze(v) for v in value)
+        return ("seq",) + tuple(_freeze(v) for v in value)
     return value
 
 

@@ -1,4 +1,4 @@
-"""Shared fixtures: small hand-built programs used across the test suite."""
+"""Shared fixtures: small hand-built programs and a fresh shared store."""
 
 from __future__ import annotations
 
@@ -6,6 +6,26 @@ import pytest
 
 from repro.ir import (FunctionType, IRBuilder, Module, PointerType, Program,
                       assert_valid, create_function, I64)
+
+
+@pytest.fixture
+def tmp_store(tmp_path, monkeypatch):
+    """A fresh shared-store root, exported and cleaned up.
+
+    Yields an empty directory path with ``REPRO_STORE_DIR`` pointing at it
+    and the deprecated ``REPRO_VARIANT_CACHE_DIR`` cleared, so executor
+    workers (and the in-process serial path) attach to exactly this tree.
+    The process-local worker cache is reset on both sides of the test —
+    store-backed scenarios must never leak an attached store into each
+    other; ``monkeypatch`` restores the environment afterwards.
+    """
+    from repro.evaluation.executor import reset_worker_cache
+    root = str(tmp_path / "store")
+    monkeypatch.setenv("REPRO_STORE_DIR", root)
+    monkeypatch.delenv("REPRO_VARIANT_CACHE_DIR", raising=False)
+    reset_worker_cache()
+    yield root
+    reset_worker_cache()
 
 
 def build_demo_program() -> Program:

@@ -133,6 +133,45 @@ class TestParallelExperimentsBitIdentical:
                 == parallel.bintuner_overhead_percent)
 
 
+class TestWarmStoreParallelDiffing:
+    """Figures 9/10 at jobs=2 over a warm shared store vs the serial path.
+
+    The fig6/7 and fig8 matrices have had this guarantee since the store
+    landed; these pin it for ``measure_escape`` and ``measure_bintuner``: a
+    parallel run whose workers adopt persisted artifacts (variants, feature
+    payloads, per-function diff payloads) must stay row-identical to the
+    storeless serial reference.
+    """
+
+    def test_escape_jobs2_over_warm_store_equals_serial(self, tmp_store):
+        from repro.evaluation import measure_escape_sharded
+        workloads = embedded_programs()[:1]
+        labels = ("sub", "fufi.all")
+        serial = measure_escape(workloads, labels=labels)
+        # populate the tree (serial in-process pass through the store)...
+        cold = measure_escape_sharded(workloads, labels=labels, jobs=1)
+        reset_worker_cache()
+        # ...then fan out over the warm tree
+        warm = measure_escape(workloads, labels=labels, jobs=2)
+        assert cold.rows == serial.rows
+        assert warm.rows == serial.rows
+        for n in (1, 10, 50):
+            assert warm.matrix(n) == serial.matrix(n)
+
+    def test_bintuner_jobs2_over_warm_store_equals_serial(self, tmp_store):
+        from repro.evaluation import measure_bintuner, measure_bintuner_sharded
+        workloads = spec2006_programs()[:2]
+        serial = measure_bintuner(workloads, tuner_iterations=1)
+        cold = measure_bintuner_sharded(workloads, tuner_iterations=1, jobs=1)
+        reset_worker_cache()
+        warm = measure_bintuner(workloads, tuner_iterations=1, jobs=2)
+        assert cold.rows == serial.rows
+        assert warm.rows == serial.rows
+        assert (warm.bintuner_overhead_percent
+                == serial.bintuner_overhead_percent
+                == cold.bintuner_overhead_percent)
+
+
 class TestEscapeRatioPairs:
     def test_escape_ratio_takes_result_provenance_pairs(self):
         from repro.toolchain import (build_baseline, build_obfuscated,

@@ -123,58 +123,37 @@ class TestShardedBitIdentity:
 
 
 class TestSharedStoreReuse:
-    def test_workers_attach_to_warm_tree_and_rebuild_nothing(self, tmp_path,
-                                                             monkeypatch):
+    def test_workers_attach_to_warm_tree_and_rebuild_nothing(self, tmp_store):
         """After a cold serial populate, a jobs=2 run through the shared
         store must add zero objects to the tree and reproduce the rows."""
-        root = str(tmp_path / "store")
-        cold = VariantCache(store=ArtifactStore.attach(root))
+        cold = VariantCache(store=ArtifactStore.attach(tmp_store))
         reference = measure_overhead(WORKLOADS, labels=LABELS, cache=cold)
         objects_before = cold.store.entry_count(KIND_VARIANT)
         assert objects_before == len(WORKLOADS) * (len(LABELS) + 1)
 
-        monkeypatch.setenv("REPRO_STORE_DIR", root)
-        reset_worker_cache()
-        try:
-            parallel = measure_overhead(WORKLOADS, labels=LABELS, jobs=2)
-        finally:
-            reset_worker_cache()
+        parallel = measure_overhead(WORKLOADS, labels=LABELS, jobs=2)
         assert _rows(parallel) == _rows(reference)
-        after = ArtifactStore.attach(root)
+        after = ArtifactStore.attach(tmp_store)
         assert after.entry_count(KIND_VARIANT) == objects_before  # no rebuilds
 
-    def test_cold_parallel_run_populates_the_tree(self, tmp_path,
-                                                  monkeypatch):
-        root = str(tmp_path / "store")
-        monkeypatch.setenv("REPRO_STORE_DIR", root)
-        reset_worker_cache()
-        try:
-            serial = measure_overhead(WORKLOADS[:1], labels=LABELS)
-            parallel = measure_overhead(WORKLOADS[:1], labels=LABELS, jobs=2)
-        finally:
-            reset_worker_cache()
+    def test_cold_parallel_run_populates_the_tree(self, tmp_store):
+        serial = measure_overhead(WORKLOADS[:1], labels=LABELS)
+        parallel = measure_overhead(WORKLOADS[:1], labels=LABELS, jobs=2)
         assert _rows(parallel) == _rows(serial)
-        store = ArtifactStore.attach(root)
+        store = ArtifactStore.attach(tmp_store)
         assert store.entry_count(KIND_VARIANT) == len(LABELS) + 1
 
-    def test_precision_workers_share_the_overhead_tree(self, tmp_path,
-                                                       monkeypatch):
+    def test_precision_workers_share_the_overhead_tree(self, tmp_store):
         """Cross-experiment reuse through the store: figure-8-style workers
         must fetch the variants the figure-6/7 run persisted."""
         from repro.evaluation import measure_precision
-        root = str(tmp_path / "store")
-        cold = VariantCache(store=ArtifactStore.attach(root))
+        cold = VariantCache(store=ArtifactStore.attach(tmp_store))
         measure_overhead(WORKLOADS[:1], labels=LABELS, cache=cold)
         objects_before = cold.store.entry_count(KIND_VARIANT)
 
-        monkeypatch.setenv("REPRO_STORE_DIR", root)
-        reset_worker_cache()
-        try:
-            serial = measure_precision(WORKLOADS[:1], labels=LABELS)
-            parallel = measure_precision(WORKLOADS[:1], labels=LABELS, jobs=2)
-        finally:
-            reset_worker_cache()
+        serial = measure_precision(WORKLOADS[:1], labels=LABELS)
+        parallel = measure_precision(WORKLOADS[:1], labels=LABELS, jobs=2)
         assert [(r.program, r.tool, r.label, r.precision) for r in serial.rows] \
             == [(r.program, r.tool, r.label, r.precision) for r in parallel.rows]
-        after = ArtifactStore.attach(root)
+        after = ArtifactStore.attach(tmp_store)
         assert after.entry_count(KIND_VARIANT) == objects_before

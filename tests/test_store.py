@@ -27,10 +27,11 @@ import pytest
 from repro.core.variant_cache import VariantCache, variant_key
 from repro.diffing.index import clear_index_cache, feature_index
 from repro.evaluation.overhead import build_variant, measure_overhead
-from repro.store import (GENERATION_LOG_NAME, KIND_BINARY, KIND_VARIANT,
-                         ArtifactStore, GenerationLog, StoreError,
-                         canonical_key, is_store_tree, persist_features,
-                         store_digest, store_dir_from_env, warm_features)
+from repro.store import (GENERATION_LOG_NAME, KIND_BINARY, KIND_DIFF,
+                         KIND_FEATURES, KIND_VARIANT, ArtifactStore,
+                         GenerationLog, StoreError, canonical_key,
+                         is_store_tree, persist_features, store_digest,
+                         store_dir_from_env, warm_features)
 from repro.workloads.suites import spec2006_programs
 
 WORKLOADS = spec2006_programs()[:2]
@@ -130,31 +131,6 @@ class TestDiskLayer:
         assert store.get(KIND_VARIANT, ("a",)) == "a"  # served from disk
         assert store.disk_hits == 1
 
-    def test_corrupt_object_is_a_miss_not_a_crash(self, tmp_path):
-        root = str(tmp_path / "store")
-        store = ArtifactStore.attach(root)
-        digest = store.put(KIND_VARIANT, ("k",), "good")
-        with open(store.object_path(KIND_VARIANT, digest), "wb") as fh:
-            fh.write(b"\x80corrupt")
-        fresh = ArtifactStore.attach(root)
-        rebuilt = fresh.get_or_build(KIND_VARIANT, ("k",), lambda: "rebuilt")
-        assert rebuilt == "rebuilt" and fresh.misses == 1
-
-    def test_envelope_key_mismatch_is_a_miss(self, tmp_path):
-        """A digest collision (or a tampered file) must never serve the
-        wrong artifact: the envelope stores the full key and is checked."""
-        root = str(tmp_path / "store")
-        store = ArtifactStore.attach(root)
-        digest = store.put(KIND_VARIANT, ("k",), "good")
-        path = store.object_path(KIND_VARIANT, digest)
-        with open(path, "rb") as fh:
-            envelope = pickle.load(fh)
-        envelope["key"] = ("other",)
-        with open(path, "wb") as fh:
-            pickle.dump(envelope, fh)
-        fresh = ArtifactStore.attach(root)
-        assert fresh.get(KIND_VARIANT, ("k",), default="absent") == "absent"
-
     def test_lowered_binary_round_trips_bit_identically(self, tmp_path):
         """Kind ``binary``: a lowered Binary survives the pickle → disk →
         unpickle trip with its machine code exactly preserved (content
@@ -200,6 +176,77 @@ class TestDiskLayer:
         store.put(KIND_VARIANT, ("k",), "v1")
         store.put(KIND_VARIANT, ("k",), "v2", overwrite=True)
         assert ArtifactStore.attach(root).get(KIND_VARIANT, ("k",)) == "v2"
+
+
+#: Every artifact kind the pipeline persists — damage to any of them must
+#: degrade to a cache miss (builds are deterministic), never to an exception.
+ALL_KINDS = (KIND_VARIANT, KIND_BINARY, KIND_FEATURES, KIND_DIFF)
+
+
+class TestCorruptObjectDegradation:
+    """Damaged on-disk objects are misses, never crashes, for every kind."""
+
+    @staticmethod
+    def _stored(root, kind):
+        store = ArtifactStore.attach(root)
+        digest = store.put(kind, ("k", kind), "good")
+        return store.object_path(kind, digest)
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_truncated_pickle_is_a_miss(self, kind, tmp_store):
+        path = self._stored(tmp_store, kind)
+        with open(path, "wb") as fh:
+            fh.write(b"\x80corrupt")
+        fresh = ArtifactStore.attach(tmp_store)
+        rebuilt = fresh.get_or_build(kind, ("k", kind), lambda: "rebuilt")
+        assert rebuilt == "rebuilt" and fresh.misses == 1
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_empty_object_file_is_a_miss(self, kind, tmp_store):
+        path = self._stored(tmp_store, kind)
+        with open(path, "wb"):
+            pass
+        fresh = ArtifactStore.attach(tmp_store)
+        assert fresh.get(kind, ("k", kind), default="absent") == "absent"
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_wrong_schema_envelope_is_a_miss(self, kind, tmp_store):
+        path = self._stored(tmp_store, kind)
+        with open(path, "rb") as fh:
+            envelope = pickle.load(fh)
+        envelope["store_schema"] = envelope["store_schema"] + 1
+        with open(path, "wb") as fh:
+            pickle.dump(envelope, fh)
+        fresh = ArtifactStore.attach(tmp_store)
+        assert fresh.get(kind, ("k", kind), default="absent") == "absent"
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_wrong_key_envelope_is_a_miss(self, kind, tmp_store):
+        """A digest collision (or a tampered file) must never serve the
+        wrong artifact: the envelope stores the full key and is checked."""
+        path = self._stored(tmp_store, kind)
+        with open(path, "rb") as fh:
+            envelope = pickle.load(fh)
+        envelope["key"] = ("other",)
+        with open(path, "wb") as fh:
+            pickle.dump(envelope, fh)
+        fresh = ArtifactStore.attach(tmp_store)
+        assert fresh.get(kind, ("k", kind), default="absent") == "absent"
+
+    def test_damaged_diff_payloads_degrade_through_the_loaders(self, tmp_store):
+        """The typed diff-payload loaders reject shape damage as a miss."""
+        from repro.store.diff_payloads import (load_roster, load_unit,
+                                               load_whole, roster_key,
+                                               unit_key, whole_key)
+        from repro.store import KIND_DIFF as kind
+        store = ArtifactStore.attach(tmp_store)
+        pair_key = ("diff", ("tool", 1), ("base",), ("var",))
+        store.put(kind, roster_key(pair_key), {"units": "not-a-tuple"})
+        store.put(kind, unit_key(pair_key, "f"), {"ranked": "garbage"})
+        store.put(kind, whole_key(pair_key), {"matches": None})
+        assert load_roster(store, pair_key) is None
+        assert load_unit(store, pair_key, "f") is None
+        assert load_whole(store, pair_key) is None
 
 
 class TestGenerationLog:
@@ -272,9 +319,9 @@ class TestEnvResolution:
 
 
 class TestVariantCacheFacade:
-    def test_warm_attach_rebuilds_zero_variants(self, tmp_path):
+    def test_warm_attach_rebuilds_zero_variants(self, tmp_store):
         """The acceptance criterion: a second attach builds nothing."""
-        root = str(tmp_path / "store")
+        root = tmp_store
         cold = VariantCache(store=ArtifactStore.attach(root))
         reference = measure_overhead(WORKLOADS, labels=LABELS, cache=cold)
         built = cold.misses
@@ -288,23 +335,23 @@ class TestVariantCacheFacade:
         assert [(r.program, r.label, r.cycles) for r in replay.rows] == \
                [(r.program, r.label, r.cycles) for r in reference.rows]
 
-    def test_facade_counts_disk_hits_as_hits(self, tmp_path):
-        root = str(tmp_path / "store")
+    def test_facade_counts_disk_hits_as_hits(self, tmp_store):
+        root = tmp_store
         VariantCache(store=ArtifactStore.attach(root)).get_or_build(
             ("k",), lambda: "v")
         warm = VariantCache(store=ArtifactStore.attach(root))
         assert warm.get_or_build(("k",), lambda: "rebuilt") == "v"
         assert warm.hits == 1 and warm.misses == 0
 
-    def test_store_backed_len_and_contains_see_disk(self, tmp_path):
-        root = str(tmp_path / "store")
+    def test_store_backed_len_and_contains_see_disk(self, tmp_store):
+        root = tmp_store
         VariantCache(store=ArtifactStore.attach(root)).get_or_build(
             ("k",), lambda: "v")
         warm = VariantCache(store=ArtifactStore.attach(root))
         assert len(warm) == 1 and ("k",) in warm
 
-    def test_clear_keeps_shared_disk_objects(self, tmp_path):
-        root = str(tmp_path / "store")
+    def test_clear_keeps_shared_disk_objects(self, tmp_store):
+        root = tmp_store
         cache = VariantCache(store=ArtifactStore.attach(root))
         cache.get_or_build(("k",), lambda: "v")
         cache.clear()
@@ -313,8 +360,8 @@ class TestVariantCacheFacade:
 
 
 class TestFeaturePayloads:
-    def test_features_round_trip_and_warm_start(self, tmp_path):
-        root = str(tmp_path / "store")
+    def test_features_round_trip_and_warm_start(self, tmp_store):
+        root = tmp_store
         store = ArtifactStore.attach(root)
         workload = WORKLOADS[0]
         artifact = build_variant(workload, "baseline")
@@ -345,8 +392,8 @@ class TestFeaturePayloads:
         assert adopted == 0
         assert index.structural_features() == local
 
-    def test_warm_features_without_payload_is_noop(self, tmp_path):
-        store = ArtifactStore.attach(str(tmp_path / "store"))
+    def test_warm_features_without_payload_is_noop(self, tmp_store):
+        store = ArtifactStore.attach(tmp_store)
         artifact = build_variant(WORKLOADS[0], "baseline")
         assert warm_features(store, variant_key(WORKLOADS[0], "baseline"),
                              artifact.binary) == 0

@@ -1,0 +1,170 @@
+"""Property-based round-trip tests for ``repro.store.keys``.
+
+Seeded stdlib-``random`` generators (no extra dependencies) drive the three
+canonicalization guarantees the store's content addressing rests on:
+
+* **order-insensitivity** — ``_freeze`` canonicalizes dict/config ordering,
+  so two logically identical configurations built in different insertion
+  orders freeze (and hash) identically;
+* **collision-freedom** — structurally distinct configurations never share a
+  canonical key or a :func:`~repro.store.artifact_store.store_digest`;
+* **cross-process stability** — digests are pure functions of the key value
+  (SHA-256 over a deterministic textual form), so a spawned interpreter with
+  a different hash seed computes the same digests.
+"""
+
+import dataclasses
+import json
+import multiprocessing
+import random
+from typing import Optional
+
+from repro.store import canonical_key, store_digest, variant_key
+from repro.store.keys import _freeze
+from repro.workloads.suites import spec2006_programs
+
+SEED = 0x5EED0C0
+ROUNDS = 60
+
+
+@dataclasses.dataclass
+class FakeOptions:
+    """A stand-in for OptOptions-like dataclass configs in generated keys."""
+
+    level: int = 2
+    lto: bool = True
+    inline_threshold: Optional[int] = None
+    tag: str = "o2"
+
+
+def random_scalar(rng: random.Random):
+    return rng.choice([
+        rng.randint(-1000, 1000),
+        round(rng.uniform(-10.0, 10.0), 6),
+        rng.choice([True, False, None]),
+        "s" + str(rng.randint(0, 99)),
+    ])
+
+
+def random_value(rng: random.Random, depth: int = 0):
+    if depth >= 2 or rng.random() < 0.5:
+        return random_scalar(rng)
+    if rng.random() < 0.5:
+        return [random_value(rng, depth + 1) for _ in range(rng.randint(0, 3))]
+    return {f"k{i}": random_value(rng, depth + 1)
+            for i in range(rng.randint(0, 3))}
+
+
+def random_config(rng: random.Random) -> dict:
+    return {f"field{i}": random_value(rng)
+            for i in range(rng.randint(1, 5))}
+
+
+def shuffled(config: dict, rng: random.Random) -> dict:
+    """The same mapping rebuilt in a random insertion order (recursively)."""
+    items = [(k, shuffled(v, rng) if isinstance(v, dict) else v)
+             for k, v in config.items()]
+    rng.shuffle(items)
+    return dict(items)
+
+
+class TestFreezeCanonicalization:
+    def test_dict_freeze_is_insertion_order_insensitive(self):
+        rng = random.Random(SEED)
+        for _ in range(ROUNDS):
+            config = random_config(rng)
+            assert _freeze(shuffled(config, rng)) == _freeze(config)
+
+    def test_freeze_is_stable_across_calls(self):
+        rng = random.Random(SEED + 1)
+        for _ in range(ROUNDS):
+            config = random_config(rng)
+            assert _freeze(config) == _freeze(config)
+            assert canonical_key(_freeze(config)) == canonical_key(_freeze(config))
+
+    def test_lists_and_tuples_freeze_identically(self):
+        rng = random.Random(SEED + 2)
+        for _ in range(ROUNDS):
+            values = [random_scalar(rng) for _ in range(rng.randint(0, 5))]
+            assert _freeze(values) == _freeze(tuple(values))
+
+    def test_dataclass_freeze_round_trips_every_field(self):
+        rng = random.Random(SEED + 3)
+        for _ in range(ROUNDS):
+            options = FakeOptions(level=rng.randint(0, 3),
+                                  lto=rng.random() < 0.5,
+                                  inline_threshold=rng.choice([None, 25, 100]),
+                                  tag="t" + str(rng.randint(0, 9)))
+            frozen = _freeze(options)
+            assert frozen == _freeze(FakeOptions(**dataclasses.asdict(options)))
+            # every field value is reachable in the frozen form
+            names = {entry[0] for entry in frozen[1:]}
+            assert names == {f.name for f in dataclasses.fields(options)}
+
+    def test_dataclass_field_changes_change_the_digest(self):
+        base = FakeOptions()
+        for change in ({"level": 3}, {"lto": False},
+                       {"inline_threshold": 25}, {"tag": "o3"}):
+            other = dataclasses.replace(base, **change)
+            assert store_digest("variant", _freeze(other)) != \
+                store_digest("variant", _freeze(base)), change
+
+
+class TestCollisionFreedom:
+    def test_distinct_random_configs_never_collide(self):
+        """N structurally distinct configs → N distinct digests.
+
+        Distinctness is established through an *independent* canonical form
+        (sorted JSON), so the assertion cannot be circular through
+        ``_freeze`` itself.
+        """
+        rng = random.Random(SEED + 4)
+        seen_json = {}
+        digests = {}
+        while len(seen_json) < 200:
+            config = random_config(rng)
+            text = json.dumps(config, sort_keys=True)
+            if text in seen_json:
+                continue
+            seen_json[text] = config
+            digest = store_digest("variant", _freeze(config))
+            assert digest not in digests, (
+                f"digest collision between {config!r} "
+                f"and {digests[digest]!r}")
+            digests[digest] = config
+
+    def test_type_confusable_scalars_never_collide(self):
+        for a, b in ((1, "1"), (1, 1.0), (True, 1), (False, 0),
+                     (None, "None"), ("", ()), (0, "")):
+            assert canonical_key(_freeze((a,))) != canonical_key(_freeze((b,)))
+
+
+def _digests_in_subprocess(frozen_keys, queue):
+    queue.put([store_digest("variant", key) for key in frozen_keys])
+
+
+class TestCrossProcessStability:
+    def test_variant_key_digests_stable_across_processes(self):
+        """A spawned interpreter (fresh hash randomization) must address the
+        same keys at the same digests — the multi-machine store contract."""
+        rng = random.Random(SEED + 5)
+        keys = [variant_key(workload, "baseline")
+                for workload in spec2006_programs()[:2]]
+        keys += [_freeze(random_config(rng)) for _ in range(10)]
+        local = [store_digest("variant", key) for key in keys]
+        ctx = multiprocessing.get_context("spawn")
+        queue = ctx.Queue()
+        proc = ctx.Process(target=_digests_in_subprocess, args=(keys, queue))
+        proc.start()
+        remote = queue.get(timeout=60)
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+        assert remote == local
+
+    def test_variant_key_is_reproducible_per_workload(self):
+        for workload in spec2006_programs()[:3]:
+            assert variant_key(workload, "baseline") == \
+                variant_key(workload, "baseline")
+        a, b = spec2006_programs()[:2]
+        assert store_digest("variant", variant_key(a, "baseline")) != \
+            store_digest("variant", variant_key(b, "baseline"))
