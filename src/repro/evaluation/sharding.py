@@ -59,22 +59,36 @@ class ShardBatch:
 
     Builds go through ``cache`` (the worker's store-backed cache in the
     pool, any :class:`~repro.core.variant_cache.VariantCache` serially) and
-    executions are memoised per variant — the baseline is executed once and
-    its cycle count shared by every row, exactly like the serial loop.
+    every execution routes through :meth:`VMBatch.run_many`: one interpreter
+    per distinct variant drives the shard's whole ``input_sets`` batch, and
+    results are memoised by the lowered binary's content digest — the
+    baseline is executed once and its cycle count shared by every row, and
+    artifacts revived from a warm store tree as distinct objects still
+    dedupe, exactly like the serial loop.  The default ``input_sets``
+    (one empty input vector) keeps rows bit-identical to the serial
+    :func:`~repro.evaluation.overhead.measure_overhead` reference.
     """
 
     def __init__(self, workload: WorkloadProgram,
-                 options: Optional[OptOptions], cache):
+                 options: Optional[OptOptions], cache,
+                 input_sets: Sequence[Sequence[int]] = ((),),
+                 dispatch: Optional[str] = None):
         self.workload = workload
         self.options = options
         self.cache = cache
-        self.vm = VMBatch()
+        self.input_sets = tuple(tuple(inputs) for inputs in input_sets)
+        self.vm = VMBatch(dispatch=dispatch)
 
-    def execute(self, label: str) -> ExecutionResult:
-        """Build (or fetch) the ``label`` variant and run it once per batch."""
+    def execute_many(self, label: str) -> List[ExecutionResult]:
+        """Build (or fetch) the ``label`` variant and run the input batch."""
         artifact = build_variant(self.workload, label, self.options,
                                  self.cache)
-        return self.vm.run(artifact.program)
+        return self.vm.run_many(artifact.program, self.input_sets,
+                                binary=getattr(artifact, "binary", None))
+
+    def execute(self, label: str) -> ExecutionResult:
+        """The variant's first-input execution (the figure-driver row)."""
+        return self.execute_many(label)[0]
 
     def rows(self, labels: Sequence[str]) -> List[OverheadRow]:
         baseline_cycles = self.execute("baseline").cycles

@@ -1,11 +1,14 @@
 """Deterministic IR interpreter and cycle cost model."""
 
+from .batch import VMBatch, run_batch
 from .costs import CostModel, DEFAULT_COST_MODEL, REGISTER_ARG_SLOTS
-from .machine import (ExecutionError, ExecutionResult, FuncPointer,
-                      Interpreter, Pointer, StepLimitExceeded, run_program)
+from .machine import (DISPATCH_TIERS, ExecutionError, ExecutionResult,
+                      FuncPointer, Interpreter, Pointer, StaleTraceError,
+                      StepLimitExceeded, run_program)
 
 __all__ = [
-    "CostModel", "DEFAULT_COST_MODEL", "REGISTER_ARG_SLOTS",
+    "CostModel", "DEFAULT_COST_MODEL", "DISPATCH_TIERS", "REGISTER_ARG_SLOTS",
     "ExecutionError", "ExecutionResult", "FuncPointer", "Interpreter",
-    "Pointer", "StepLimitExceeded", "run_program",
+    "Pointer", "StaleTraceError", "StepLimitExceeded", "VMBatch",
+    "run_batch", "run_program",
 ]

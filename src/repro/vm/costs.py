@@ -21,8 +21,16 @@ from dataclasses import dataclass
 REGISTER_ARG_SLOTS = 6
 
 
-@dataclass
+@dataclass(frozen=True)
 class CostModel:
+    """Per-instruction-class cycle costs.
+
+    Frozen: compiled blocks, fused superblock traces and
+    :class:`~repro.vm.batch.VMBatch` memos all bake these costs into
+    precomputed totals, so mutating a shared model mid-batch would silently
+    desynchronise memoised results from fresh runs.  Build a new model (e.g.
+    ``dataclasses.replace``) instead of mutating one.
+    """
     arithmetic: int = 1
     compare: int = 1
     cast: int = 1
