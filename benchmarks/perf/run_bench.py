@@ -43,6 +43,13 @@ can diff the perf trajectory.  Tracked metrics:
   (``REPRO_STORE_DIR``): serial vs ``jobs=2`` row-identity, cold vs
   warm-attach timings, and the store's hit/miss/put counters — a warm attach
   must rebuild **zero** variants;
+* **verify_overhead** — full-tier IR verification (structural + types +
+  dominance + dataflow lints, :mod:`repro.analysis.static`) over the fig6
+  variant set: structural-tier baseline, cold full tier (fresh
+  ``AnalysisManager`` per run) vs warm full tier (persistent manager —
+  every function is a ``verify:full`` cache hit, the regime
+  ``PassManager(verify_each=...)`` re-verification runs in), reported
+  against the uncached build phase (acceptance: warm < 10% of build);
 * **fig8_function_sharded** — the figure-8 precision matrix through the
   *function-granularity* diff sharding
   (:mod:`repro.evaluation.diff_sharding`) over a shared store: serial
@@ -95,7 +102,7 @@ MEASURE_LABELS = ("fission", "fufi.ori")
 REQUIRED_KEYS = ("schema", "config", "vm", "vm_superblock",
                  "fig6_measure_loop", "fig6_end_to_end", "pipeline",
                  "variant_cache", "fig8_diff_phase", "fig67_sharded",
-                 "fig8_function_sharded")
+                 "fig8_function_sharded", "verify_overhead")
 
 
 def best_of(fn: Callable[[], object], reps: int) -> float:
@@ -573,6 +580,56 @@ def bench_fig8_function_sharded(programs, reps: int) -> Dict[str, object]:
     }
 
 
+def bench_verify_overhead(programs, reps: int) -> Dict[str, object]:
+    """Full-tier IR verification overhead on the fig6 variant set.
+
+    ``cold_full_s`` verifies every variant with a fresh ``AnalysisManager``
+    per run — paying CFG/domtree construction and the dataflow lints.
+    ``warm_full_s`` re-verifies through one persistent manager, where every
+    function resolves as a ``verify:full`` cache hit — the regime
+    ``PassManager(verify_each=...)`` and the ``REPRO_VERIFY_IR`` post-link
+    hook re-verify in.  Acceptance (checked structurally by --smoke only for
+    the error count; the ratio is informational): warm full-tier
+    verification stays under 10% of the uncached fig6 build phase.
+    """
+    from repro.analysis.manager import AnalysisManager
+    from repro.analysis.static import verify
+
+    gc.collect()
+    start = time.perf_counter()
+    variants = _build_variants(programs)
+    build_s = time.perf_counter() - start
+
+    def verify_all(tier: str, analyses):
+        findings = []
+        for variant in variants:
+            findings.extend(verify(variant, tier=tier, analyses=analyses))
+        return findings
+
+    errors = sum(d.is_error for d in verify_all("full", None))
+
+    structural_s = best_of(lambda: verify_all("structural", None), reps)
+    cold_full_s = best_of(lambda: verify_all("full", AnalysisManager()), reps)
+    manager = AnalysisManager()
+    verify_all("full", manager)  # populate the verify:full cache entries
+    warm_full_s = best_of(lambda: verify_all("full", manager), reps)
+
+    return {
+        "programs": [wp.name for wp in programs],
+        "labels": list(MEASURE_LABELS),
+        "variants": len(variants),
+        "errors": errors,
+        "build_s": round(build_s, 4),
+        "structural_s": round(structural_s, 4),
+        "cold_full_s": round(cold_full_s, 4),
+        "warm_full_s": round(warm_full_s, 4),
+        "warm_speedup": (round(cold_full_s / warm_full_s, 2)
+                         if warm_full_s else None),
+        "warm_vs_build_pct": (round(100.0 * warm_full_s / build_s, 2)
+                              if build_s else None),
+    }
+
+
 def bench_disk_cache(programs) -> Dict[str, object]:
     """Save → reload round trip of the variant cache (REPRO_VARIANT_CACHE_DIR)."""
     directory = os.environ["REPRO_VARIANT_CACHE_DIR"]
@@ -670,6 +727,10 @@ def check_results(results: Dict[str, object]) -> List[str]:
         if fig8_sharded.get("stats", {}).get("cold", {}).get(
                 "diff_payloads_persisted", 0) <= 0:
             problems.append("cold fig8 shard run persisted no diff payloads")
+    overhead = results.get("verify_overhead", {})
+    if overhead and overhead.get("errors", -1) != 0:
+        problems.append("full-tier verification found errors on the fig6 "
+                        "variant set")
     if os.environ.get("REPRO_VARIANT_CACHE_DIR"):
         disk = results.get("disk_cache")
         if not disk:
@@ -707,7 +768,7 @@ def main(argv=None) -> int:
         batch = 32
 
     results = {
-        "schema": 6,
+        "schema": 7,
         "config": {"quick": bool(args.quick or args.smoke), "reps": reps,
                    "batch": batch,
                    "python": sys.version.split()[0],
@@ -729,6 +790,8 @@ def main(argv=None) -> int:
                                              max(1, reps // 2)),
         "fig8_function_sharded": bench_fig8_function_sharded(
             loop_programs, max(1, reps // 2)),
+        "verify_overhead": bench_verify_overhead(loop_programs,
+                                                 max(1, reps // 2)),
     }
     if os.environ.get("REPRO_VARIANT_CACHE_DIR"):
         results["disk_cache"] = bench_disk_cache(loop_programs)
@@ -774,6 +837,11 @@ def main(argv=None) -> int:
           f"{f8['warm_shard_s']}s ({f8['warm_shard_speedup']}x, "
           f"{f8['warm_feature_rebuilds']} feature rebuilds, "
           f"identical={f8['identical']})")
+    vo = results["verify_overhead"]
+    print(f"verify overhead:   cold full {vo['cold_full_s']}s -> warm "
+          f"{vo['warm_full_s']}s ({vo['warm_speedup']}x; structural "
+          f"{vo['structural_s']}s); warm = {vo['warm_vs_build_pct']}% of "
+          f"the {vo['build_s']}s build phase")
     if "disk_cache" in results:
         dc = results["disk_cache"]
         print(f"disk cache:        {dc['saved_entries']} entries -> "

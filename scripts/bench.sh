@@ -18,7 +18,10 @@
 # function-granularity diff sharding (fig8_function_sharded: serial vs
 # jobs=2 vs warm-store row identity, warm runs adopt every per-function
 # diff payload and rebuild zero FeatureIndex payloads, and the fig8 store
-# tree must hold objects/diff).
+# tree must hold objects/diff), and the deep static-analysis subsystem
+# (verify_overhead section, schema 7: the fig6 variant set must verify
+# error-free at the full tier, cold vs AnalysisManager-warm timings vs the
+# uncached build phase).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -28,8 +28,8 @@ Quickstart::
     print(precision_at_1(result, khaos.provenance))
 """
 
-__version__ = "0.1.0"
-
 from .utils import geometric_mean, stable_hash
+
+__version__ = "0.1.0"
 
 __all__ = ["geometric_mean", "stable_hash", "__version__"]

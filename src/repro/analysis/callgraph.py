@@ -12,7 +12,6 @@ from typing import Dict, List, Set, Tuple
 from ..ir.function import Function
 from ..ir.instructions import Call
 from ..ir.module import Module, Program
-from ..ir.values import Value
 
 
 class CallGraph:

@@ -8,7 +8,7 @@ data-flow reduction).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Set
 
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
@@ -43,7 +43,6 @@ def region_inputs(region: Iterable[BasicBlock]) -> List[Value]:
     are not counted as inputs; arguments and instructions defined outside the
     region are.
     """
-    region_blocks = set(id(b) for b in region)
     defined_inside: Set[int] = set()
     for block in region:
         for inst in block.instructions:

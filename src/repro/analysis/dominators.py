@@ -9,7 +9,7 @@ region* of every block (the candidate regions of Algorithm 1).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional
 
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function

@@ -118,6 +118,20 @@ class AnalysisManager:
                          lambda: BlockFrequency(function, self.cfg(function),
                                                 self.loops(function)))
 
+    def cached(self, function: Function, name: str, builder):
+        """Public per-function cache slot for non-core artifacts.
+
+        The static verifier parks its per-tier results here under
+        ``verify:<tier>`` pseudo-names, giving warm re-verification
+        dictionary-hit cost.  Entries share the invalidation lifecycle of
+        the real analyses: any ``invalidate(function, ...)`` drops them
+        unless the caller's ``preserve`` names them explicitly (passes
+        never do), and the ``verify_invalidation`` fingerprint check
+        applies on hits.  ``builder`` takes no arguments and must not
+        return ``None`` (``None`` is the cache-miss sentinel).
+        """
+        return self._get(function, name, builder)
+
     def callgraph(self, module: Module) -> CallGraph:
         graph = self._callgraphs.get(module)
         if graph is None:

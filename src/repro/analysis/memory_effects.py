@@ -18,9 +18,9 @@ from typing import List, Optional, Set
 
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
-from ..ir.instructions import (Alloca, Call, GetElementPtr, Instruction, Load,
-                               Store, Cast)
-from ..ir.values import Argument, GlobalVariable, Value
+from ..ir.instructions import (Alloca, Call, GetElementPtr, Instruction, Store,
+                               Cast)
+from ..ir.values import Value
 
 # Intrinsics and libc-style helpers that the VM models as side-effect free.
 PURE_INTRINSICS = {

@@ -1,0 +1,207 @@
+"""AST lint of TraceCompiler-generated Python source.
+
+The superblock tier generates one Python function per fused trace
+(:meth:`repro.vm.compiler.TraceCompiler._codegen`).  Its correctness
+contract is narrow and purely syntactic, so it can be enforced on the
+generated source *before* the code object is accepted:
+
+* exactly one top-level ``def _trace(env):`` whose single parameter is the
+  call environment — the **single-env invariant** (no other state flows in);
+* straight-line code only: no loops, comprehensions, nested functions,
+  imports or ``global``/``nonlocal`` — the **no-inter-block-dispatch
+  invariant** (a trace replays one fused path and *returns* its outcome;
+  it never loops back to dispatch another block itself);
+* every name is from the known namespace: ``env``, the scratch locals the
+  emitters use, bound objects (``_t<n>`` jump targets, ``_f<n>`` fallback
+  closures, ``_g<n>`` immediates), the runtime helpers and a whitelist of
+  builtins;
+* ``env`` is only ever subscripted with an integer key or passed whole to a
+  fallback closure — never aliased, attributed or leaked elsewhere;
+* attribute access is limited to the runtime-object surface the emitters
+  use (``allocation``/``cells``/``offset``, ``dict.get``, ``__class__``).
+
+Violations are :class:`Diagnostic` errors; ``verify_trace_source`` raises,
+which is how the TraceCompiler hook rejects bad codegen up front.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from typing import List
+
+from .diagnostics import Diagnostic, error
+
+#: Codes this module can emit (each has a failing-input test).
+TRACE_CODES = (
+    "trace-structure",
+    "trace-banned-construct",
+    "trace-unknown-name",
+    "trace-env-misuse",
+    "trace-attr",
+    "trace-call",
+)
+
+#: scratch locals the emitters assign inside the trace body
+_SCRATCH = {"_c", "_p", "_o", "_v", "_i", "_b"}
+#: runtime helpers bound into every generated namespace
+_HELPERS = {"_Pointer", "_Allocation", "_Return", "_tdiv"}
+#: builtins the emitters may call
+_BUILTINS = {"int", "float", "len"}
+#: exception types the ``try``-guarded attempts catch before falling back
+_EXCEPTIONS = {"KeyError", "TypeError", "AttributeError", "ValueError"}
+#: bound-object names: _t<n> jump targets, _f<n> fallbacks, _g<n> immediates
+_BOUND = re.compile(r"^_[tfg]\d+$")
+#: attributes of runtime values the emitters touch
+_ATTRS = {"allocation", "cells", "offset", "get", "__class__"}
+
+_BANNED_NODES = (
+    ast.For, ast.AsyncFor, ast.While, ast.With, ast.AsyncWith,
+    ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda,
+    ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp,
+    ast.Import, ast.ImportFrom, ast.Global, ast.Nonlocal,
+    ast.Yield, ast.YieldFrom, ast.Await, ast.Starred, ast.Delete,
+    ast.Raise, ast.Assert, ast.Match,
+)
+
+
+class TraceLintError(Exception):
+    """Generated trace source violated the codegen contract."""
+
+    def __init__(self, diagnostics: List[Diagnostic]):
+        super().__init__("\n".join(d.render() for d in diagnostics))
+        self.diagnostics = diagnostics
+
+
+def lint_trace_source(source: str, where: str = "") -> List[Diagnostic]:
+    """Lint one generated trace source; returns diagnostics (errors only)."""
+    out: List[Diagnostic] = []
+    try:
+        module = ast.parse(source)
+    except SyntaxError as exc:
+        return [error("trace-structure",
+                      f"generated source does not parse: {exc}", where)]
+
+    if (len(module.body) != 1
+            or not isinstance(module.body[0], ast.FunctionDef)
+            or module.body[0].name != "_trace"):
+        out.append(error(
+            "trace-structure",
+            "generated module must be exactly one 'def _trace'", where))
+        return out
+    func = module.body[0]
+    _annotate_parents(func)
+    args = func.args
+    if (len(args.args) != 1 or args.args[0].arg != "env"
+            or args.posonlyargs or args.kwonlyargs or args.vararg
+            or args.kwarg or args.defaults or args.kw_defaults
+            or func.decorator_list):
+        out.append(error(
+            "trace-structure",
+            "_trace must take exactly one parameter, 'env'", where))
+
+    for node in ast.walk(func):
+        if isinstance(node, _BANNED_NODES) and node is not func:
+            out.append(error(
+                "trace-banned-construct",
+                f"{type(node).__name__} is not allowed in generated traces",
+                where))
+        elif isinstance(node, ast.Name):
+            _check_name(node, where, out)
+        elif isinstance(node, ast.Attribute):
+            if node.attr not in _ATTRS:
+                out.append(error(
+                    "trace-attr",
+                    f"attribute .{node.attr} is outside the runtime surface",
+                    where))
+        elif isinstance(node, ast.Call):
+            _check_call(node, where, out)
+    return out
+
+
+def _is_env(node: ast.AST) -> bool:
+    return isinstance(node, ast.Name) and node.id == "env"
+
+
+def _check_name(node: ast.Name, where: str, out: List[Diagnostic]) -> None:
+    name = node.id
+    if (name in _SCRATCH or name in _HELPERS or name in _BUILTINS
+            or _BOUND.match(name)):
+        return
+    if name in _EXCEPTIONS and _in_except_clause(node):
+        return
+    if name == "env":
+        _check_env_use(node, where, out)
+        return
+    out.append(error("trace-unknown-name",
+                     f"unknown name {name!r} in generated trace", where))
+
+
+def _in_except_clause(node: ast.Name) -> bool:
+    """True when ``node`` is (part of) an ``except <types>:`` clause."""
+    parent = getattr(node, "_lint_parent", None)
+    if isinstance(parent, ast.Tuple):
+        parent = getattr(parent, "_lint_parent", None)
+    return isinstance(parent, ast.ExceptHandler)
+
+
+def _check_env_use(node: ast.Name, where: str,
+                   out: List[Diagnostic]) -> None:
+    parent = getattr(node, "_lint_parent", None)
+    if isinstance(node.ctx, ast.Store):
+        out.append(error("trace-env-misuse",
+                         "env must never be rebound", where))
+        return
+    if isinstance(parent, ast.Subscript) and parent.value is node:
+        index = parent.slice
+        if not (isinstance(index, ast.Constant)
+                and isinstance(index.value, int)):
+            out.append(error(
+                "trace-env-misuse",
+                "env may only be subscripted with integer constants", where))
+        return
+    if isinstance(parent, ast.Call) and node in parent.args:
+        func = parent.func
+        if (isinstance(func, ast.Name) and func.id.startswith("_f")
+                and _BOUND.match(func.id) and len(parent.args) == 1):
+            return  # the whole env handed to a fallback closure
+        out.append(error(
+            "trace-env-misuse",
+            "env may only be passed whole to a fallback closure", where))
+        return
+    out.append(error("trace-env-misuse",
+                     "env used outside subscript/fallback positions", where))
+
+
+def _check_call(node: ast.Call, where: str, out: List[Diagnostic]) -> None:
+    if node.keywords:
+        out.append(error("trace-call",
+                         "keyword arguments are not emitted by codegen",
+                         where))
+    func = node.func
+    if isinstance(func, ast.Name):
+        name = func.id
+        if name in _HELPERS or name in _BUILTINS or _BOUND.match(name):
+            return
+        out.append(error("trace-call",
+                         f"call to unexpected target {name!r}", where))
+        return
+    if isinstance(func, ast.Attribute) and func.attr == "get":
+        return  # switch tables: _g<n>.get(_v, _t<n>)
+    out.append(error("trace-call",
+                     "call target must be a bound name or a table .get",
+                     where))
+
+
+def _annotate_parents(func: ast.FunctionDef) -> None:
+    for parent in ast.walk(func):
+        for child in ast.iter_child_nodes(parent):
+            child._lint_parent = parent
+
+
+def verify_trace_source(source: str, where: str = "") -> None:
+    """Raise :class:`TraceLintError` if ``source`` violates the contract."""
+    diagnostics = lint_trace_source(source, where)
+    if diagnostics:
+        raise TraceLintError(diagnostics)

@@ -1,0 +1,89 @@
+"""A small generic forward/backward dataflow engine over the cached CFG.
+
+The lint passes in :mod:`repro.analysis.static.lints` are all instances of
+the classic iterative worklist scheme: per-block transfer functions over a
+lattice of sets, merged at control-flow joins until a fixed point.  The
+engine is deliberately tiny — facts are frozensets, merge is union (may
+analyses) or intersection (must analyses) — which covers every lint shipped
+here while staying obviously correct.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Tuple
+
+from ...ir.basicblock import BasicBlock
+from ..cfg import ControlFlowGraph
+
+State = FrozenSet
+#: transfer(block, in_state) -> out_state
+Transfer = Callable[[BasicBlock, State], State]
+
+MAY = "may"      # union at joins (something *may* hold on some path)
+MUST = "must"    # intersection at joins (something holds on *every* path)
+
+
+def solve_forward(cfg: ControlFlowGraph, transfer: Transfer,
+                  entry_state: State = frozenset(),
+                  merge: str = MAY) -> Dict[BasicBlock, Tuple[State, State]]:
+    """Iterate ``transfer`` forward to a fixed point over reachable blocks.
+
+    Returns ``{block: (in_state, out_state)}``.
+    """
+    return _solve(cfg, transfer, entry_state, merge, forward=True)
+
+
+def solve_backward(cfg: ControlFlowGraph, transfer: Transfer,
+                   exit_state: State = frozenset(),
+                   merge: str = MAY) -> Dict[BasicBlock, Tuple[State, State]]:
+    """Iterate ``transfer`` backward to a fixed point over reachable blocks.
+
+    For a backward problem the "in" state of the returned pair is the state
+    *after* the block (facts flowing in from its successors) and the "out"
+    state is the state before it.
+    """
+    return _solve(cfg, transfer, exit_state, merge, forward=False)
+
+
+def _solve(cfg: ControlFlowGraph, transfer: Transfer, boundary: State,
+           merge: str, forward: bool) -> Dict[BasicBlock, Tuple[State, State]]:
+    if merge not in (MAY, MUST):
+        raise ValueError(f"unknown merge mode {merge!r}")
+    blocks = cfg.reverse_post_order()
+    if not forward:
+        blocks = list(reversed(blocks))
+    block_set = set(blocks)
+    if forward:
+        edges_in = {b: [p for p in cfg.predecessors.get(b, ())
+                        if p in block_set] for b in blocks}
+    else:
+        edges_in = {b: [s for s in cfg.successors.get(b, ())
+                        if s in block_set] for b in blocks}
+
+    in_states: Dict[BasicBlock, State] = {}
+    out_states: Dict[BasicBlock, State] = {}
+
+    changed = True
+    while changed:
+        changed = False
+        for block in blocks:
+            sources = edges_in[block]
+            computed = [out_states[s] for s in sources if s in out_states]
+            if not sources:
+                state = boundary
+            elif not computed:
+                # no processed source yet: start from the identity of the
+                # merge (empty for may-union; for must-intersection wait for
+                # the first processed source next sweep)
+                state = in_states.get(block, frozenset())
+            elif merge == MAY:
+                state = frozenset().union(*computed)
+            else:
+                state = frozenset.intersection(*computed)
+            out = transfer(block, state)
+            if in_states.get(block) != state or out_states.get(block) != out:
+                in_states[block] = state
+                out_states[block] = out
+                changed = True
+    return {b: (in_states.get(b, frozenset()),
+                out_states.get(b, frozenset())) for b in blocks}

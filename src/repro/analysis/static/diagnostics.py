@@ -1,0 +1,124 @@
+"""Structured diagnostics for the IR static-analysis subsystem.
+
+Every check in :mod:`repro.analysis.static` reports :class:`Diagnostic`
+records instead of bare strings: a severity (``error`` aborts verification,
+``warning`` is advisory lint output), a stable machine-readable code, a
+human message and an IR location (function / block).  The records serialise
+to JSON for tooling (``scripts/lint_ir.py --json``) and support a
+*suppression baseline*: a JSON file of known-finding signatures that the CLI
+subtracts from fresh runs, so a lint can be landed before every legacy
+finding is fixed.
+"""
+
+from __future__ import annotations
+
+import json
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: ``severity`` + stable ``code`` + message + IR location."""
+
+    severity: str
+    code: str
+    message: str
+    function: str = ""
+    block: str = ""
+
+    def signature(self) -> str:
+        """Stable identity used by the suppression baseline.
+
+        The message is deliberately excluded: wording changes must not
+        un-suppress a known finding.
+        """
+        return f"{self.code}@{self.function}:{self.block}"
+
+    def render(self) -> str:
+        location = self.function
+        if self.block:
+            location = f"{location}:{self.block}"
+        prefix = f"{location}: " if location else ""
+        return f"{prefix}{self.message} [{self.code}]"
+
+    def to_json(self) -> Dict[str, str]:
+        return {
+            "severity": self.severity,
+            "code": self.code,
+            "message": self.message,
+            "function": self.function,
+            "block": self.block,
+        }
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == SEVERITY_ERROR
+
+
+def error(code: str, message: str, function: str = "",
+          block: str = "") -> Diagnostic:
+    return Diagnostic(SEVERITY_ERROR, code, message, function, block)
+
+
+def warning(code: str, message: str, function: str = "",
+            block: str = "") -> Diagnostic:
+    return Diagnostic(SEVERITY_WARNING, code, message, function, block)
+
+
+def errors_only(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    return [d for d in diagnostics if d.is_error]
+
+
+def render_all(diagnostics: Iterable[Diagnostic]) -> List[str]:
+    return [d.render() for d in diagnostics]
+
+
+def diagnostics_to_json(diagnostics: Sequence[Diagnostic]) -> str:
+    return json.dumps([d.to_json() for d in diagnostics], indent=2,
+                      sort_keys=True)
+
+
+# -- suppression baseline ----------------------------------------------------------
+
+BASELINE_SCHEMA = 1
+
+
+def write_baseline(path, diagnostics: Sequence[Diagnostic]) -> None:
+    """Persist the signatures of ``diagnostics`` as a suppression baseline."""
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "suppressions": sorted({d.signature() for d in diagnostics}),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_baseline(path) -> frozenset:
+    """Load a baseline file written by :func:`write_baseline`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"unsupported baseline schema {payload.get('schema')!r} in {path}")
+    return frozenset(payload.get("suppressions", ()))
+
+
+def apply_baseline(diagnostics: Sequence[Diagnostic],
+                   suppressions: Iterable[str]
+                   ) -> Tuple[List[Diagnostic], List[Diagnostic]]:
+    """Split ``diagnostics`` into ``(kept, suppressed)`` by signature."""
+    suppressed_set = set(suppressions)
+    kept: List[Diagnostic] = []
+    suppressed: List[Diagnostic] = []
+    for diagnostic in diagnostics:
+        if diagnostic.signature() in suppressed_set:
+            suppressed.append(diagnostic)
+        else:
+            kept.append(diagnostic)
+    return kept, suppressed

@@ -1,0 +1,77 @@
+"""Dominance-based def-before-use verification (part of the ``full`` tier).
+
+LLVM-verifier style: every use of an instruction result must be dominated by
+its definition.  Within one block that means the definition appears earlier
+in the instruction list; across blocks the defining block must dominate the
+using block on the cached :class:`~repro.analysis.dominators.DominatorTree`.
+
+Uses inside unreachable blocks are skipped (LLVM does the same — dominance
+is undefined off the reachable CFG), but a *reachable* use of a value
+defined only in an unreachable block is an error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ...ir.function import Function
+from ...ir.instructions import Instruction
+from ..manager import AnalysisManager
+from .diagnostics import Diagnostic, error
+
+#: Codes this module can emit (each has a failing-input test).
+DOMINANCE_CODES = (
+    "use-before-def",
+    "dominance",
+    "unreachable-def",
+)
+
+
+def check_function(function: Function,
+                   analyses: Optional[AnalysisManager] = None
+                   ) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    if function.is_declaration:
+        return diagnostics
+    analyses = analyses if analyses is not None else AnalysisManager()
+    domtree = analyses.domtree(function)
+    reachable = set(domtree.blocks())
+
+    # instruction index within its block, for the same-block ordering check
+    position: Dict[Instruction, int] = {}
+    for block in function.blocks:
+        for index, inst in enumerate(block.instructions):
+            position[inst] = index
+
+    fname = function.name
+    for block in function.blocks:
+        if block not in reachable:
+            continue
+        for inst in block.instructions:
+            for op in inst.operands:
+                if not isinstance(op, Instruction):
+                    continue
+                def_block = op.parent
+                if def_block is None or def_block.parent is not function:
+                    continue  # structural foreign-instruction covers this
+                if def_block is block:
+                    if position[op] >= position[inst]:
+                        diagnostics.append(error(
+                            "use-before-def",
+                            f"%{op.name} used by {inst.opcode} before its "
+                            f"definition", fname, block.name))
+                    continue
+                if def_block not in reachable:
+                    diagnostics.append(error(
+                        "unreachable-def",
+                        f"%{op.name} is defined in unreachable block "
+                        f"{def_block.name} but used reachably", fname,
+                        block.name))
+                    continue
+                if not domtree.dominates(def_block, block):
+                    diagnostics.append(error(
+                        "dominance",
+                        f"definition of %{op.name} in {def_block.name} does "
+                        f"not dominate its use in {block.name}", fname,
+                        block.name))
+    return diagnostics

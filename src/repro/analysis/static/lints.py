@@ -1,0 +1,214 @@
+"""Dataflow-powered lint passes (warnings; part of the ``full`` tier).
+
+Built on the generic engine in :mod:`repro.analysis.static.dataflow` and the
+pointer-base tracing of :mod:`repro.analysis.memory_effects`:
+
+* ``unreachable-block`` — blocks the entry cannot reach;
+* ``load-uninit`` — a load of a non-escaping local alloca that *no* path has
+  stored to yet (defined behaviour — allocations are zero-initialised — but
+  almost always a pass bug);
+* ``dead-store`` — a store to a non-escaping local alloca that no later load
+  can observe (bogus-CFG junk blocks trip this by design, which is exactly
+  why it is a warning);
+* ``undef-operand`` — an :class:`~repro.ir.values.UndefValue` flowing into
+  anything other than a call argument (fusion's padded arguments are the
+  only sanctioned use).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ...ir.function import Function
+from ...ir.instructions import (Alloca, Call, Cast, GetElementPtr, Load,
+                                Store)
+from ...ir.values import UndefValue, Value
+from ..cfg import ControlFlowGraph
+from ..manager import AnalysisManager
+from ..memory_effects import trace_pointer_base
+from .dataflow import solve_backward, solve_forward
+from .diagnostics import Diagnostic, warning
+
+#: Codes this module can emit (each has a failing-input test).
+LINT_CODES = (
+    "unreachable-block",
+    "load-uninit",
+    "dead-store",
+    "undef-operand",
+)
+
+
+def check_function(function: Function,
+                   analyses: Optional[AnalysisManager] = None
+                   ) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    if function.is_declaration:
+        return diagnostics
+    analyses = analyses if analyses is not None else AnalysisManager()
+    cfg = analyses.cfg(function)
+
+    for block in cfg.unreachable_blocks():
+        diagnostics.append(warning("unreachable-block", "unreachable block",
+                                   function.name, block.name))
+    diagnostics.extend(_check_undef_operands(function))
+
+    tracked = _tracked_allocas(function)
+    if tracked:
+        diagnostics.extend(_check_uninitialised_loads(function, cfg, tracked))
+        diagnostics.extend(_check_dead_stores(function, cfg, tracked))
+    return diagnostics
+
+
+# -- undef flow --------------------------------------------------------------------
+
+
+def _check_undef_operands(function: Function) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for block in function.blocks:
+        for inst in block.instructions:
+            for index, op in enumerate(inst.operands):
+                if not isinstance(op, UndefValue):
+                    continue
+                if isinstance(inst, Call) and index >= 1:
+                    continue  # padded fusion argument
+                diagnostics.append(warning(
+                    "undef-operand",
+                    f"undef value flows into {inst.opcode}",
+                    function.name, block.name))
+    return diagnostics
+
+
+# -- local alloca tracking ---------------------------------------------------------
+
+
+def _tracked_allocas(function: Function) -> Set[Alloca]:
+    """Non-escaping allocas of ``function`` — the ones the memory lints can
+    reason about soundly.
+
+    An alloca escapes when its address (or any GEP/cast-derived pointer)
+    reaches anything other than a load, the pointer slot of a store, or
+    further pointer arithmetic.
+    """
+    allocas: Set[Alloca] = set()
+    for block in function.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, Alloca):
+                allocas.add(inst)
+    if not allocas:
+        return allocas
+
+    escaped: Set[Alloca] = set()
+    for block in function.blocks:
+        for inst in block.instructions:
+            for index, op in enumerate(inst.operands):
+                base = trace_pointer_base(op)
+                if not isinstance(base, Alloca) or base not in allocas:
+                    continue
+                if isinstance(inst, Load):
+                    continue
+                if isinstance(inst, Store) and index == 1:
+                    continue
+                if isinstance(inst, (GetElementPtr, Cast)) and index == 0:
+                    continue
+                escaped.add(base)
+    return allocas - escaped
+
+
+def _base_of(value: Value, tracked: Set[Alloca]) -> Optional[Alloca]:
+    base = trace_pointer_base(value)
+    if isinstance(base, Alloca) and base in tracked:
+        return base
+    return None
+
+
+# -- definitely-uninitialised loads ------------------------------------------------
+
+
+def _check_uninitialised_loads(function: Function, cfg: ControlFlowGraph,
+                               tracked: Set[Alloca]) -> List[Diagnostic]:
+    """Forward may-stored analysis: warn on loads no store can have reached."""
+
+    def transfer(block, stored):
+        out = set(stored)
+        for inst in block.instructions:
+            if isinstance(inst, Store):
+                base = _base_of(inst.pointer, tracked)
+                if base is not None:
+                    out.add(base)
+            if inst.is_terminator:
+                break
+        return frozenset(out)
+
+    states = solve_forward(cfg, transfer)
+    diagnostics: List[Diagnostic] = []
+    for block, (in_state, _out) in states.items():
+        stored = set(in_state)
+        for inst in block.instructions:
+            if isinstance(inst, Load):
+                base = _base_of(inst.pointer, tracked)
+                if base is not None and base not in stored:
+                    diagnostics.append(warning(
+                        "load-uninit",
+                        f"load of %{base.name} before any store reaches it",
+                        function.name, block.name))
+            elif isinstance(inst, Store):
+                base = _base_of(inst.pointer, tracked)
+                if base is not None:
+                    stored.add(base)
+            if inst.is_terminator:
+                break
+    return diagnostics
+
+
+# -- dead stores -------------------------------------------------------------------
+
+
+def _check_dead_stores(function: Function, cfg: ControlFlowGraph,
+                       tracked: Set[Alloca]) -> List[Diagnostic]:
+    """Backward may-live analysis: warn on stores no later load can observe.
+
+    Only whole-slot stores (the pointer operand is the alloca itself) are
+    killed and reported; stores through derived pointers neither kill nor
+    warn — they may target any element of the allocation.
+    """
+
+    def executed(block):
+        out = []
+        for inst in block.instructions:
+            out.append(inst)
+            if inst.is_terminator:
+                break
+        return out
+
+    def transfer(block, live_after):
+        live = set(live_after)
+        for inst in reversed(executed(block)):
+            if isinstance(inst, Load):
+                base = _base_of(inst.pointer, tracked)
+                if base is not None:
+                    live.add(base)
+            elif isinstance(inst, Store):
+                base = _base_of(inst.pointer, tracked)
+                if base is not None and inst.pointer is base:
+                    live.discard(base)
+        return frozenset(live)
+
+    states = solve_backward(cfg, transfer)
+    diagnostics: List[Diagnostic] = []
+    for block, (live_after, _before) in states.items():
+        live = set(live_after)
+        for inst in reversed(executed(block)):
+            if isinstance(inst, Load):
+                base = _base_of(inst.pointer, tracked)
+                if base is not None:
+                    live.add(base)
+            elif isinstance(inst, Store):
+                base = _base_of(inst.pointer, tracked)
+                if base is not None and inst.pointer is base:
+                    if base not in live:
+                        diagnostics.append(warning(
+                            "dead-store",
+                            f"store to %{base.name} is never observed",
+                            function.name, block.name))
+                    live.discard(base)
+    return diagnostics

@@ -1,0 +1,126 @@
+"""Structural IR checks (the ``structural`` verify tier).
+
+These are the original ``ir/verifier.py`` invariants — block shape,
+terminator placement, branch-target and operand ownership, call arity,
+return/void agreement — re-expressed as :class:`Diagnostic` records.  Blocks
+and instructions hash by identity, so membership tests use direct object
+sets (the historical ``id()``-keyed indirection is gone).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ...ir.function import Function
+from ...ir.instructions import Call, Instruction, Ret
+from ...ir.values import Argument, Constant, GlobalVariable, UndefValue, Value
+from .diagnostics import Diagnostic, error
+
+#: Codes this module can emit (each has a failing-input test).
+STRUCTURAL_CODES = (
+    "empty-block",
+    "missing-terminator",
+    "multiple-terminators",
+    "terminator-not-last",
+    "foreign-branch-target",
+    "null-operand",
+    "foreign-argument",
+    "foreign-instruction",
+    "call-arity",
+    "ret-mismatch",
+)
+
+
+def check_function(function: Function) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    if function.is_declaration:
+        return diagnostics
+
+    blocks: Set[object] = set(function.blocks)
+    defined: Set[Value] = set(function.args)
+    for block in function.blocks:
+        defined.update(block.instructions)
+
+    fname = function.name
+    for block in function.blocks:
+        bname = block.name
+        if not block.instructions:
+            diagnostics.append(error("empty-block", "empty block",
+                                     fname, bname))
+            continue
+        terminators = [i for i in block.instructions if i.is_terminator]
+        if not terminators:
+            diagnostics.append(error("missing-terminator",
+                                     "missing terminator", fname, bname))
+        elif len(terminators) > 1:
+            diagnostics.append(error("multiple-terminators",
+                                     "multiple terminators", fname, bname))
+        elif not block.instructions[-1].is_terminator:
+            diagnostics.append(error(
+                "terminator-not-last",
+                "terminator is not the last instruction", fname, bname))
+
+        for inst in block.instructions:
+            for succ in inst.successors():
+                if succ not in blocks:
+                    diagnostics.append(error(
+                        "foreign-branch-target",
+                        f"branch to block {getattr(succ, 'name', succ)!r} "
+                        f"not in function", fname, bname))
+            for op in inst.operands:
+                if op is None:
+                    diagnostics.append(error(
+                        "null-operand",
+                        f"null operand in {inst.opcode}", fname, bname))
+                    continue
+                if isinstance(op, (Constant, GlobalVariable, Function,
+                                   UndefValue)):
+                    continue
+                if isinstance(op, Argument):
+                    if op.function is not None and op.function is not function:
+                        diagnostics.append(error(
+                            "foreign-argument",
+                            f"argument %{op.name} belongs to "
+                            f"@{op.function.name}", fname, bname))
+                    continue
+                if isinstance(op, Instruction) and op not in defined:
+                    diagnostics.append(error(
+                        "foreign-instruction",
+                        f"operand %{op.name} of {inst.opcode} is defined "
+                        f"in another function", fname, bname))
+
+            if isinstance(inst, Call):
+                diagnostics.extend(_check_call_arity(function, block, inst))
+
+            if isinstance(inst, Ret):
+                want_void = function.return_type.is_void
+                if want_void and inst.value is not None:
+                    diagnostics.append(error(
+                        "ret-mismatch", "ret with value in void function",
+                        fname, bname))
+                if not want_void and inst.value is None:
+                    diagnostics.append(error(
+                        "ret-mismatch", "ret void in non-void function",
+                        fname, bname))
+    return diagnostics
+
+
+def _check_call_arity(function: Function, block, inst: Call) -> List[Diagnostic]:
+    callee = inst.callee
+    if not isinstance(callee, Function):
+        return []
+    expected = len(callee.ftype.param_types)
+    got = len(inst.args)
+    if callee.ftype.variadic:
+        if got < expected:
+            return [error(
+                "call-arity",
+                f"call to variadic @{callee.name} with too few args "
+                f"({got} < {expected})", function.name, block.name)]
+        return []
+    if expected != got:
+        return [error(
+            "call-arity",
+            f"call to @{callee.name} with {got} args, expected {expected}",
+            function.name, block.name)]
+    return []

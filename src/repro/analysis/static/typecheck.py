@@ -1,0 +1,423 @@
+"""Type checking of IR instructions (the ``typed`` verify tier).
+
+Every instruction's operand and result types are validated against the
+:mod:`repro.ir.types` rules, call sites against the callee's declared
+signature, and global/constant values against their declared types.
+
+The checker is exact where the IR is exact and deliberately lenient where
+the Khaos passes legitimately bend types:
+
+* pointers are treated *opaquely* (any pointer type is assignable to any
+  other pointer type) — fusion merges parameter and return slots into
+  ``i8*`` and bitcasts derived pointers freely;
+* ``add``/``sub`` keep the interpreter's pointer-arithmetic escape hatch
+  (pointer left operand, integer right operand);
+* :class:`~repro.ir.values.UndefValue` operands are wildcards (fusion pads
+  unused merged parameters with them).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...ir.function import Function
+from ...ir.instructions import (BinaryOp, Call, Cast, Compare, CondBranch,
+                                FCMP_PREDICATES, GetElementPtr,
+                                INT_BINARY_OPS, Load, Ret, Select, Store,
+                                Switch)
+from ...ir.module import Module
+from ...ir.types import (ArrayType, FloatType, FunctionType, IntType,
+                         PointerType, Type, I1)
+from ...ir.values import Constant, GlobalVariable, NullPointer, UndefValue, Value
+from .diagnostics import Diagnostic, error
+
+#: Codes this module can emit (each has a failing-input test).
+TYPECHECK_CODES = (
+    "binop-type",
+    "compare-type",
+    "cond-type",
+    "select-type",
+    "load-type",
+    "store-type",
+    "gep-type",
+    "cast-type",
+    "callee-type",
+    "call-arg-type",
+    "call-result-type",
+    "ret-type",
+    "switch-type",
+    "global-init",
+    "constant-value",
+)
+
+
+def _assignable(src: Type, dst: Type) -> bool:
+    """Value of type ``src`` may flow into a slot of type ``dst``."""
+    if src == dst:
+        return True
+    # opaque-pointer rule: fusion rewrites pointer slots to i8* and keeps
+    # passing concretely-typed pointers through them (and vice versa)
+    return src.is_pointer and dst.is_pointer
+
+
+def _is_wildcard(value: Value) -> bool:
+    return isinstance(value, UndefValue)
+
+
+def check_function(function: Function) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    if function.is_declaration:
+        return diagnostics
+    for block in function.blocks:
+        for inst in block.instructions:
+            checker = _CHECKERS.get(type(inst))
+            if checker is not None:
+                checker(function, block, inst, diagnostics)
+            for op in inst.operands:
+                if isinstance(op, Constant):
+                    _check_constant(function, block, op, diagnostics)
+    return diagnostics
+
+
+def check_module(module: Module) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for variable in module.globals.values():
+        _check_global(variable, diagnostics)
+    for function in module.functions.values():
+        diagnostics.extend(check_function(function))
+    return diagnostics
+
+
+# -- per-instruction checks --------------------------------------------------------
+
+
+def _check_binop(function, block, inst: BinaryOp, out) -> None:
+    lhs, rhs = inst.lhs, inst.rhs
+    if _is_wildcard(lhs) or _is_wildcard(rhs):
+        return
+    if inst.op in INT_BINARY_OPS:
+        if lhs.type.is_pointer and inst.op in ("add", "sub"):
+            # the interpreter's pointer-arithmetic escape hatch
+            if not rhs.type.is_integer or not _assignable(lhs.type, inst.type):
+                out.append(error(
+                    "binop-type",
+                    f"pointer {inst.op} needs an integer right operand and a "
+                    f"pointer result, got {rhs.type} -> {inst.type}",
+                    function.name, block.name))
+            return
+        if not lhs.type.is_integer or lhs.type != rhs.type:
+            out.append(error(
+                "binop-type",
+                f"integer {inst.op} on {lhs.type}, {rhs.type}",
+                function.name, block.name))
+        elif inst.type != lhs.type:
+            out.append(error(
+                "binop-type",
+                f"{inst.op} result type {inst.type} != operand type {lhs.type}",
+                function.name, block.name))
+        return
+    # float ops
+    if not lhs.type.is_float or lhs.type != rhs.type:
+        out.append(error(
+            "binop-type", f"float {inst.op} on {lhs.type}, {rhs.type}",
+            function.name, block.name))
+    elif inst.type != lhs.type:
+        out.append(error(
+            "binop-type",
+            f"{inst.op} result type {inst.type} != operand type {lhs.type}",
+            function.name, block.name))
+
+
+def _check_compare(function, block, inst: Compare, out) -> None:
+    lhs, rhs = inst.lhs, inst.rhs
+    if inst.type != I1:
+        out.append(error("compare-type",
+                         f"compare result type {inst.type} is not i1",
+                         function.name, block.name))
+    if _is_wildcard(lhs) or _is_wildcard(rhs):
+        return
+    if inst.predicate in FCMP_PREDICATES:
+        if not lhs.type.is_float or lhs.type != rhs.type:
+            out.append(error(
+                "compare-type",
+                f"fcmp {inst.predicate} on {lhs.type}, {rhs.type}",
+                function.name, block.name))
+        return
+    if lhs.type.is_pointer and rhs.type.is_pointer:
+        return
+    if not lhs.type.is_integer or lhs.type != rhs.type:
+        out.append(error(
+            "compare-type",
+            f"icmp {inst.predicate} on {lhs.type}, {rhs.type}",
+            function.name, block.name))
+
+
+def _check_load(function, block, inst: Load, out) -> None:
+    pointer = inst.pointer
+    if _is_wildcard(pointer):
+        return
+    if not pointer.type.is_pointer:
+        out.append(error("load-type",
+                         f"load from non-pointer type {pointer.type}",
+                         function.name, block.name))
+        return
+    pointee = pointer.type.pointee
+    if isinstance(pointee, ArrayType):
+        pointee = pointee.element
+    if not (_assignable(pointee, inst.type) or _opaque_slot(pointee)):
+        out.append(error(
+            "load-type",
+            f"load of {inst.type} through pointer to {pointer.type.pointee}",
+            function.name, block.name))
+
+
+def _check_store(function, block, inst: Store, out) -> None:
+    value, pointer = inst.value, inst.pointer
+    if _is_wildcard(value) or _is_wildcard(pointer):
+        return
+    if not pointer.type.is_pointer:
+        out.append(error("store-type",
+                         f"store to non-pointer type {pointer.type}",
+                         function.name, block.name))
+        return
+    pointee = pointer.type.pointee
+    if isinstance(pointee, ArrayType):
+        pointee = pointee.element
+    if not (_assignable(value.type, pointee) or _opaque_slot(pointee)):
+        out.append(error(
+            "store-type",
+            f"store of {value.type} through pointer to "
+            f"{pointer.type.pointee}", function.name, block.name))
+
+
+def _opaque_slot(pointee: Type) -> bool:
+    """i8 slots act as opaque byte storage (fusion's merged pointer slots)."""
+    return isinstance(pointee, IntType) and pointee.bits == 8
+
+
+def _check_gep(function, block, inst: GetElementPtr, out) -> None:
+    pointer, index = inst.pointer, inst.index
+    if not _is_wildcard(pointer) and not pointer.type.is_pointer:
+        out.append(error("gep-type",
+                         f"gep on non-pointer type {pointer.type}",
+                         function.name, block.name))
+    if not _is_wildcard(index) and not index.type.is_integer:
+        out.append(error("gep-type",
+                         f"gep index of non-integer type {index.type}",
+                         function.name, block.name))
+    if not inst.type.is_pointer:
+        out.append(error("gep-type",
+                         f"gep result type {inst.type} is not a pointer",
+                         function.name, block.name))
+
+
+def _check_cast(function, block, inst: Cast, out) -> None:
+    if _is_wildcard(inst.value):
+        return
+    src, dst = inst.value.type, inst.type
+    kind = inst.kind
+    ok = True
+    if kind == "trunc":
+        ok = src.is_integer and dst.is_integer and src.bits >= dst.bits
+    elif kind in ("zext", "sext"):
+        ok = src.is_integer and dst.is_integer and src.bits <= dst.bits
+    elif kind == "fptrunc":
+        ok = src.is_float and dst.is_float and src.bits >= dst.bits
+    elif kind == "fpext":
+        ok = src.is_float and dst.is_float and src.bits <= dst.bits
+    elif kind == "fptosi":
+        ok = src.is_float and dst.is_integer
+    elif kind == "sitofp":
+        ok = src.is_integer and dst.is_float
+    elif kind == "ptrtoint":
+        ok = src.is_pointer and dst.is_integer
+    elif kind == "inttoptr":
+        ok = src.is_integer and dst.is_pointer
+    elif kind == "bitcast":
+        ok = ((src.is_pointer and dst.is_pointer) or src == dst
+              or (_scalar_bits(src) is not None
+                  and _scalar_bits(src) == _scalar_bits(dst)))
+    if not ok:
+        out.append(error("cast-type", f"invalid {kind} from {src} to {dst}",
+                         function.name, block.name))
+
+
+def _scalar_bits(type_: Type) -> Optional[int]:
+    if isinstance(type_, (IntType, FloatType)):
+        return type_.bits
+    return None
+
+
+def _check_select(function, block, inst: Select, out) -> None:
+    cond = inst.condition
+    if not _is_wildcard(cond) and cond.type != I1:
+        out.append(error("cond-type",
+                         f"select condition type {cond.type} is not i1",
+                         function.name, block.name))
+    tv, fv = inst.true_value, inst.false_value
+    if _is_wildcard(tv) or _is_wildcard(fv):
+        return
+    if not _assignable(tv.type, fv.type) and not _assignable(fv.type, tv.type):
+        out.append(error("select-type",
+                         f"select arms of types {tv.type}, {fv.type}",
+                         function.name, block.name))
+    elif not _assignable(tv.type, inst.type):
+        out.append(error(
+            "select-type",
+            f"select result type {inst.type} != arm type {tv.type}",
+            function.name, block.name))
+
+
+def _check_cond_branch(function, block, inst: CondBranch, out) -> None:
+    cond = inst.condition
+    if not _is_wildcard(cond) and cond.type != I1:
+        out.append(error("cond-type",
+                         f"condbr condition type {cond.type} is not i1",
+                         function.name, block.name))
+
+
+def _check_switch(function, block, inst: Switch, out) -> None:
+    value = inst.value
+    if not _is_wildcard(value) and not value.type.is_integer:
+        out.append(error("switch-type",
+                         f"switch on non-integer type {value.type}",
+                         function.name, block.name))
+    for constant, _target in inst.cases:
+        if not isinstance(constant, Constant) or not constant.type.is_integer:
+            out.append(error(
+                "switch-type",
+                f"switch case constant of type "
+                f"{getattr(constant, 'type', None)}",
+                function.name, block.name))
+
+
+def _check_call(function, block, inst: Call, out) -> None:
+    callee = inst.callee
+    ftype = _callee_function_type(callee)
+    if ftype is None:
+        out.append(error(
+            "callee-type",
+            f"call target has non-function type {callee.type}",
+            function.name, block.name))
+        return
+    for index, (arg, param) in enumerate(zip(inst.args, ftype.param_types)):
+        if _is_wildcard(arg):
+            continue
+        if not _assignable(arg.type, param):
+            out.append(error(
+                "call-arg-type",
+                f"argument {index} of type {arg.type} passed to parameter "
+                f"of type {param}", function.name, block.name))
+    want = ftype.return_type
+    if want.is_void:
+        if not inst.type.is_void:
+            out.append(error(
+                "call-result-type",
+                f"call result type {inst.type} for void callee",
+                function.name, block.name))
+    elif inst.type.is_void or not _assignable(want, inst.type):
+        out.append(error(
+            "call-result-type",
+            f"call result type {inst.type} != callee return type {want}",
+            function.name, block.name))
+
+
+def _callee_function_type(callee: Value) -> Optional[FunctionType]:
+    type_ = callee.type
+    if isinstance(type_, FunctionType):
+        return type_
+    if isinstance(type_, PointerType) and isinstance(type_.pointee,
+                                                     FunctionType):
+        return type_.pointee
+    return None
+
+
+def _check_ret(function, block, inst: Ret, out) -> None:
+    value = inst.value
+    want = function.return_type
+    # void/value agreement is a structural check (ret-mismatch); here only
+    # the type of a present value is validated
+    if value is None or want.is_void or _is_wildcard(value):
+        return
+    if not _assignable(value.type, want):
+        out.append(error(
+            "ret-type",
+            f"ret of {value.type} in function returning {want}",
+            function.name, block.name))
+
+
+_CHECKERS = {
+    BinaryOp: _check_binop,
+    Compare: _check_compare,
+    Load: _check_load,
+    Store: _check_store,
+    GetElementPtr: _check_gep,
+    Cast: _check_cast,
+    Select: _check_select,
+    CondBranch: _check_cond_branch,
+    Switch: _check_switch,
+    Call: _check_call,
+    Ret: _check_ret,
+}
+
+
+# -- constants and globals ---------------------------------------------------------
+
+
+def _check_constant(function, block, constant: Constant, out) -> None:
+    type_ = constant.type
+    value = constant.value
+    if isinstance(constant, NullPointer):
+        if not type_.is_pointer:
+            out.append(error(
+                "constant-value",
+                f"null pointer constant of non-pointer type {type_}",
+                function.name, block.name))
+        return
+    if isinstance(type_, IntType):
+        if not isinstance(value, int) or not (type_.min_value <= value
+                                              <= type_.max_value):
+            out.append(error(
+                "constant-value",
+                f"integer constant {value!r} out of range for {type_}",
+                function.name, block.name))
+    elif isinstance(type_, FloatType):
+        if not isinstance(value, float):
+            out.append(error(
+                "constant-value",
+                f"float constant {value!r} is not a float",
+                function.name, block.name))
+    elif type_.is_pointer:
+        if value != 0:
+            out.append(error(
+                "constant-value",
+                f"pointer constant with non-null value {value!r}",
+                function.name, block.name))
+
+
+def _check_global(variable: GlobalVariable, out) -> None:
+    init = variable.initializer
+    if init is None:
+        return
+    value_type = variable.value_type
+    location = f"@{variable.name}"
+    if isinstance(value_type, ArrayType):
+        if not isinstance(init, (list, tuple)):
+            out.append(error(
+                "global-init",
+                f"array global {location} initialised with {type(init).__name__}"))
+        elif len(init) > max(1, value_type.count):
+            out.append(error(
+                "global-init",
+                f"array global {location} initialiser has {len(init)} "
+                f"elements for {value_type}"))
+        return
+    if isinstance(value_type, IntType) and not isinstance(init, (int, bool)):
+        out.append(error(
+            "global-init",
+            f"integer global {location} initialised with {init!r}"))
+    elif isinstance(value_type, FloatType) and not isinstance(init,
+                                                              (int, float)):
+        out.append(error(
+            "global-init",
+            f"float global {location} initialised with {init!r}"))

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Dict, Iterable, List
+from typing import Dict, List
 
 from .binary import Binary, BinaryFunction
 

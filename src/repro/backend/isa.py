@@ -10,7 +10,7 @@ features the real tools extract, not to be executable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 
 # Integer argument registers of the modelled calling convention (SysV AMD64).

@@ -15,17 +15,16 @@ x86-64 code generation that the paper's evaluation depends on:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-from ..ir.basicblock import BasicBlock
 from ..ir.function import Function, Linkage
 from ..ir.instructions import (Alloca, BinaryOp, Branch, Call, Cast, Compare,
                                CondBranch, GetElementPtr, Instruction, Load,
                                Ret, Select, Store, Switch, Unreachable)
 from ..ir.module import Module, Program
 from ..ir.types import FloatType
-from ..ir.values import (Argument, Constant, GlobalVariable, NullPointer,
-                         UndefValue, Value)
+from ..ir.values import (Constant, GlobalVariable, NullPointer, UndefValue,
+                         Value)
 from .binary import Binary, BinaryFunction
 from .isa import ARG_REGISTERS, MachineBlock, RETURN_REGISTER
 

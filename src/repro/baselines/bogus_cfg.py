@@ -10,13 +10,12 @@ blocks and edges without changing behaviour.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
 
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import (Alloca, BinaryOp, Branch, Compare, CondBranch,
-                               Instruction, Load, Store)
-from ..ir.module import Module, Program
+                               Load, Store)
+from ..ir.module import Module
 from ..ir.types import I64
 from ..ir.values import Constant, GlobalVariable
 from ..opt.pass_manager import ModulePass

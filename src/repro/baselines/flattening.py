@@ -14,16 +14,17 @@ ratio and therefore evaluates *Fla-10*, a 10% ratio), the pass takes a
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import Dict
 
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
-from ..ir.instructions import (Alloca, Branch, CondBranch, Instruction, Ret,
-                               Select, Store, Switch, Unreachable)
+from ..ir.instructions import (Alloca, Branch, CondBranch, Ret, Select, Store,
+                               Switch, Unreachable)
 from ..ir.module import Module
 from ..ir.types import I64
 from ..ir.values import Constant
 from ..opt.pass_manager import ModulePass
+from ..opt.reg2mem import demote_undominated
 
 
 class ControlFlowFlattening(ModulePass):
@@ -76,6 +77,11 @@ class ControlFlowFlattening(ModulePass):
 
         for block in original_blocks:
             self._rewrite_terminator(block, state_slot, state_of, dispatcher)
+
+        # every former edge now routes through the dispatcher, so defs in the
+        # original blocks no longer dominate their downstream uses; spill them
+        # the way O-LLVM runs reg2mem ahead of flattening
+        demote_undominated(function)
 
         function.attributes["ollvm_flattened"] = True
         return True

@@ -10,8 +10,9 @@ identity map (intra-procedural obfuscation never changes the function set).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
+from ..analysis.manager import AnalysisManager
 from ..core.obfuscator import ObfuscationResult
 from ..core.provenance import ProvenanceMap
 from ..core.stats import KhaosStats
@@ -41,10 +42,11 @@ class OLLVMObfuscator:
         working = program.link()
         module = working.modules[0]
         provenance = ProvenanceMap(f.name for f in module.defined_functions())
+        analyses = AnalysisManager()
         for pass_ in self.passes:
-            pass_.run(working)
+            pass_.run(working, analyses)
         if verify:
-            assert_valid(working)
+            assert_valid(working, analyses=analyses)
         working.metadata["obfuscation"] = self.label
         return ObfuscationResult(program=working, provenance=provenance,
                                  stats=KhaosStats(), label=self.label)

@@ -10,12 +10,12 @@ paper finds it weak against modern binary diffing.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import BinaryOp, Instruction
-from ..ir.values import Constant, Value
+from ..ir.values import Constant
 from ..opt.pass_manager import FunctionPass
 from ..utils import stable_hash
 

@@ -16,7 +16,7 @@ For every chosen region (see :mod:`repro.core.region`) the pass
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.defuse import region_inputs, region_outputs
 from ..analysis.manager import AnalysisManager
@@ -25,8 +25,8 @@ from ..ir.function import Function, Linkage
 from ..ir.instructions import (Alloca, Branch, Call, CondBranch, Instruction,
                                Load, Ret, Store, Switch, Unreachable)
 from ..ir.module import Module
-from ..ir.types import FunctionType, IntType, PointerType, I64
-from ..ir.values import Argument, Constant, Value
+from ..ir.types import FunctionType, PointerType, I64
+from ..ir.values import Constant, Value
 from .config import FissionConfig
 from .provenance import ProvenanceMap
 from .region import Region, RegionIdentifier

@@ -28,9 +28,10 @@ from ..ir.function import Function, Linkage
 from ..ir.instructions import (Alloca, Branch, Call, Cast, Compare, CondBranch,
                                Instruction, Load, Ret, Store, Switch)
 from ..ir.module import Module, clone_function_body
-from ..ir.types import (FloatType, FunctionType, IntType, PointerType, Type,
-                        compatible_type, compress_parameter_lists, I64, I8)
+from ..ir.types import (FunctionType, PointerType, Type, compatible_type,
+                        compress_parameter_lists, I64)
 from ..ir.values import Argument, Constant, GlobalVariable, NullPointer, UndefValue, Value
+from ..opt.reg2mem import demote_undominated
 from .config import FusionConfig
 from .provenance import ProvenanceMap
 from .stats import FusionStats
@@ -228,6 +229,11 @@ class Fusion:
         if self.config.enable_deep_fusion:
             merged_blocks = self._deep_fuse(fused, is_a, "a.", "b.")
             self.stats.deep_fused_blocks += merged_blocks
+            if merged_blocks:
+                # merging a-side and b-side blocks makes each side's values
+                # statically reachable from the other path; spill the defs
+                # the merge un-dominated so the fused body stays verifiable
+                demote_undominated(fused)
         self.stats.innocuous_block_counts.append(
             sum(1 for b in fused.blocks if is_innocuous_block(fused, b)))
 

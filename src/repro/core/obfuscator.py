@@ -15,8 +15,8 @@ The five modes follow section 3.4 of the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 from ..analysis.manager import AnalysisManager
 from ..ir.function import Function
@@ -84,7 +84,10 @@ class Khaos:
                                  candidate_filter=_fusion_filter_for(self.config.mode))
 
         if verify:
-            assert_valid(working)
+            # tier from REPRO_VERIFY_IR (structural by default); reusing the
+            # pipeline's AnalysisManager lets the full tier walk the dominator
+            # trees fission/fusion already built for the surviving functions
+            assert_valid(working, analyses=analyses)
         working.metadata["khaos_mode"] = self.config.mode
         return ObfuscationResult(program=working, provenance=provenance,
                                  stats=stats, label=self.config.mode,

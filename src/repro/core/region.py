@@ -20,14 +20,14 @@ conditions the paper discusses in sections 3.2.1–3.2.4:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
 
 from ..analysis.cfg import ControlFlowGraph
 from ..analysis.manager import AnalysisManager
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
-from ..ir.instructions import Alloca, Call, Instruction, Ret
+from ..ir.instructions import Alloca, Call
 from .config import FissionConfig
 
 

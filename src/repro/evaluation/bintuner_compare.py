@@ -10,7 +10,7 @@ reports BinTuner's runtime overhead against the O2 + LTO baseline (30.35%).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..baselines.bintuner import BinTuner
 from ..backend.lowering import lower_program

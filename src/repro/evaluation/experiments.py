@@ -10,7 +10,7 @@ full-size experiment (slow in pure Python).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from ..diffing import tool_table
 from ..workloads.suites import EMBEDDED_VULNERABILITIES

@@ -10,12 +10,12 @@ columns are directly comparable between baseline and obfuscated builds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..core.variant_cache import VariantCache, variant_key
 from ..opt.pass_manager import OptOptions
-from ..toolchain import (ALL_LABELS, KHAOS_LABELS, build_baseline,
-                         build_obfuscated, obfuscator_for, overhead_percent)
+from ..toolchain import (KHAOS_LABELS, build_baseline, build_obfuscated,
+                         obfuscator_for, overhead_percent)
 from ..utils import geometric_mean
 from ..vm.machine import run_program
 from ..workloads.suites import WorkloadProgram, spec2006_programs, spec2017_programs

@@ -21,7 +21,8 @@ from .function import Function, Linkage
 from .module import Module, Program, clone_function_body
 from .builder import IRBuilder, create_function
 from .printer import function_to_str, instruction_to_str, module_to_str
-from .verifier import VerificationError, assert_valid, verify_function, verify_module, verify_program
+from .verifier import (VerificationError, assert_valid, verify_function,
+                       verify_module, verify_program)
 
 __all__ = [
     "ArrayType", "FloatType", "FunctionType", "IntType", "PointerType", "Type",

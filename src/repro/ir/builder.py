@@ -16,8 +16,7 @@ from .instructions import (Alloca, BinaryOp, Branch, Call, Cast, Compare,
                            CondBranch, GetElementPtr, Instruction, Load, Ret,
                            Select, Store, Switch, Unreachable)
 from .module import Module
-from .types import (FloatType, FunctionType, IntType, PointerType, Type, I1,
-                    I32, I64, VOID)
+from .types import FloatType, FunctionType, IntType, PointerType, Type, I1, I64
 from .values import Constant, Value
 
 

@@ -16,8 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .types import (ArrayType, FunctionType, IntType, PointerType, Type, VOID,
-                    I1, I64)
+from .types import ArrayType, FunctionType, PointerType, Type, VOID, I1
 from .values import Constant, Value
 
 

@@ -17,6 +17,7 @@ afterwards by name.
 from __future__ import annotations
 
 import copy
+import os
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .basicblock import BasicBlock
@@ -277,6 +278,7 @@ class Program:
             for module in linked_single.modules:
                 for f in module.functions.values():
                     f.attributes.setdefault("origin_module", module.name)
+            _post_link_verify(linked_single)
             return linked_single
 
         merged = Module(f"{self.name}.linked")
@@ -363,7 +365,22 @@ class Program:
         linked = Program(self.name, [merged], entry=self.entry)
         linked.metadata = dict(self.metadata)
         linked.metadata["linked"] = True
+        _post_link_verify(linked)
         return linked
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Program {self.name} ({len(self.modules)} modules)>"
+
+
+def _post_link_verify(program: "Program") -> None:
+    """Verify a freshly linked program when ``REPRO_VERIFY_IR`` is set.
+
+    Opt-in rather than always-on: ``link()`` sits on the hot path of every
+    obfuscate/measure cycle, and a structural sweep of a large program is
+    not free.  Lazy import — the verifier lives above this module.
+    """
+    tier = os.environ.get("REPRO_VERIFY_IR")
+    if not tier:
+        return
+    from .verifier import assert_valid
+    assert_valid(program, tier=tier)

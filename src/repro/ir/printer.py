@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Dict
 
 from .basicblock import BasicBlock
 from .function import Function

@@ -8,7 +8,6 @@ instructions (defined in :mod:`repro.ir.instructions`).
 
 from __future__ import annotations
 
-from typing import Optional
 
 from .types import FloatType, IntType, PointerType, Type
 

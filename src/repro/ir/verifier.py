@@ -1,134 +1,67 @@
-"""Structural verifier for the IR.
+"""Compatibility façade over the :mod:`repro.analysis.static` verifier.
 
-Obfuscation passes rewrite functions aggressively; the verifier catches the
-common classes of breakage early (missing terminators, dangling block
-references, operands defined in a different function, call arity mismatches).
-It is used throughout the test suite and can be enabled after every pass via
-``PassManager(verify_each=True)``.
+Historically this module *was* the verifier — a flat structural check.  The
+real implementation now lives in :mod:`repro.analysis.static` with tiered
+depth (``structural`` / ``typed`` / ``full``, selectable per call or via
+``REPRO_VERIFY_IR``), structured diagnostics, dominance-based def-before-use
+and dataflow lints.  This façade keeps the historical API stable for the
+passes and tests: the ``verify_*`` functions return rendered error strings,
+``assert_valid`` raises :class:`VerificationError`.
+
+The analysis package is imported lazily inside each function:
+``repro.ir.__init__`` imports this module at package-load time, and
+``repro.analysis`` imports ``repro.ir`` — a module-level import here would
+cycle.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Union
 
 from .function import Function
-from .instructions import (Branch, Call, CondBranch, Instruction, Ret, Switch,
-                           Terminator)
 from .module import Module, Program
-from .values import Argument, Constant, GlobalVariable, UndefValue, Value
 
 
 class VerificationError(Exception):
-    """Raised when a module violates a structural invariant."""
+    """Raised when IR violates an invariant of the selected verify tier."""
 
     def __init__(self, errors: List[str]):
         super().__init__("\n".join(errors))
         self.errors = errors
 
 
-def verify_function(function: Function) -> List[str]:
-    errors: List[str] = []
-    if function.is_declaration:
-        return errors
-
-    blocks = set(id(b) for b in function.blocks)
-    defined: set = {id(a) for a in function.args}
-    instruction_owner = {}
-    for block in function.blocks:
-        for inst in block.instructions:
-            instruction_owner[id(inst)] = block
-            defined.add(id(inst))
-
-    for block in function.blocks:
-        if not block.instructions:
-            errors.append(f"{function.name}:{block.name}: empty block")
-            continue
-        terminators = [i for i in block.instructions if i.is_terminator]
-        if not terminators:
-            errors.append(f"{function.name}:{block.name}: missing terminator")
-        elif len(terminators) > 1:
-            errors.append(f"{function.name}:{block.name}: multiple terminators")
-        elif not block.instructions[-1].is_terminator:
-            errors.append(
-                f"{function.name}:{block.name}: terminator is not the last instruction")
-
-        for inst in block.instructions:
-            for succ in inst.successors():
-                if id(succ) not in blocks:
-                    errors.append(
-                        f"{function.name}:{block.name}: branch to block "
-                        f"{getattr(succ, 'name', succ)!r} not in function")
-            for op in inst.operands:
-                if op is None:
-                    errors.append(
-                        f"{function.name}:{block.name}: null operand in {inst.opcode}")
-                    continue
-                if isinstance(op, (Constant, GlobalVariable, Function, UndefValue)):
-                    continue
-                if isinstance(op, Argument):
-                    if op.function is not None and op.function is not function:
-                        errors.append(
-                            f"{function.name}:{block.name}: argument %{op.name} "
-                            f"belongs to @{op.function.name}")
-                    continue
-                if isinstance(op, Instruction):
-                    if id(op) not in defined:
-                        errors.append(
-                            f"{function.name}:{block.name}: operand %{op.name} of "
-                            f"{inst.opcode} is defined in another function")
-                    continue
-
-            if isinstance(inst, Call):
-                callee = inst.callee
-                if isinstance(callee, Function):
-                    expected = len(callee.ftype.param_types)
-                    got = len(inst.args)
-                    if callee.ftype.variadic:
-                        if got < expected:
-                            errors.append(
-                                f"{function.name}: call to variadic @{callee.name} "
-                                f"with too few args ({got} < {expected})")
-                    elif expected != got:
-                        errors.append(
-                            f"{function.name}: call to @{callee.name} with {got} "
-                            f"args, expected {expected}")
-
-            if isinstance(inst, Ret):
-                want_void = function.return_type.is_void
-                if want_void and inst.value is not None:
-                    errors.append(
-                        f"{function.name}: ret with value in void function")
-                if not want_void and inst.value is None:
-                    errors.append(
-                        f"{function.name}: ret void in non-void function")
-    return errors
+def verify_function(function: Function,
+                    tier: Union[None, bool, str] = None,
+                    analyses=None) -> List[str]:
+    """Error messages (empty when valid) of ``function`` at ``tier``."""
+    from ..analysis import static
+    return [d.render()
+            for d in static.verification_errors(function, tier, analyses)]
 
 
-def verify_module(module: Module) -> List[str]:
-    errors: List[str] = []
-    for function in module.functions.values():
-        errors.extend(verify_function(function))
-    return errors
+def verify_module(module: Module, tier: Union[None, bool, str] = None,
+                  analyses=None) -> List[str]:
+    from ..analysis import static
+    return [d.render()
+            for d in static.verification_errors(module, tier, analyses)]
 
 
-def verify_program(program: Program, raise_on_error: bool = True) -> List[str]:
-    errors: List[str] = []
-    for module in program.modules:
-        errors.extend(verify_module(module))
+def verify_program(program: Program, raise_on_error: bool = True,
+                   tier: Union[None, bool, str] = None,
+                   analyses=None) -> List[str]:
+    from ..analysis import static
+    errors = [d.render()
+              for d in static.verification_errors(program, tier, analyses)]
     if errors and raise_on_error:
         raise VerificationError(errors)
     return errors
 
 
-def assert_valid(obj) -> None:
+def assert_valid(obj, tier: Union[None, bool, str] = None,
+                 analyses=None) -> None:
     """Verify a Function, Module or Program and raise on any error."""
-    if isinstance(obj, Function):
-        errors = verify_function(obj)
-    elif isinstance(obj, Module):
-        errors = verify_module(obj)
-    elif isinstance(obj, Program):
-        errors = verify_program(obj, raise_on_error=False)
-    else:
-        raise TypeError(f"cannot verify {type(obj)!r}")
+    from ..analysis import static
+    errors = [d.render() for d in static.verification_errors(obj, tier,
+                                                             analyses)]
     if errors:
         raise VerificationError(errors)

@@ -13,7 +13,7 @@ from typing import Dict, Optional
 
 from ..ir.function import Function
 from ..ir.instructions import (BinaryOp, Branch, Cast, Compare, CondBranch,
-                               Instruction, Select, Switch)
+                               Select, Switch)
 from ..ir.types import FloatType, IntType
 from ..ir.values import Constant, Value
 from .pass_manager import FunctionPass

@@ -13,7 +13,7 @@ from typing import Optional, Set
 
 from ..analysis.manager import AnalysisManager
 from ..ir.function import Function, Linkage
-from ..ir.instructions import Alloca, Call, Instruction, Load, Store
+from ..ir.instructions import Alloca, Call, Instruction, Store
 from ..ir.module import Module
 from .pass_manager import FunctionPass, ModulePass
 

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional
 
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
-from ..ir.instructions import Alloca, Branch, Call, Instruction, Load, Ret, Store
+from ..ir.instructions import Alloca, Branch, Call, Load, Ret, Store
 from ..ir.module import Module, clone_function_body
 from ..ir.values import Value
 from .pass_manager import ModulePass

@@ -8,8 +8,8 @@ individual pass toggles, LTO).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable, List, Optional, Tuple, Union
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Optional, Tuple, Union
 
 from ..analysis.manager import AnalysisManager, PRESERVE_ALL
 from ..ir.function import Function
@@ -100,8 +100,19 @@ class OptOptions:
 
 
 class PassManager:
+    """Runs a pass sequence, optionally verifying the program after each.
+
+    ``verify_each`` accepts ``False`` (off), ``True`` (tier selected by
+    ``REPRO_VERIFY_IR``, defaulting to ``structural``) or an explicit tier
+    name (``"structural"`` / ``"typed"`` / ``"full"``).  Verification runs
+    through the manager's own :class:`AnalysisManager`, so the dominator
+    trees the ``full`` tier walks are the ones the passes already cached,
+    and per-function verify results stay warm across passes that did not
+    touch the function.
+    """
+
     def __init__(self, passes: Optional[Iterable[Pass]] = None,
-                 verify_each: bool = False,
+                 verify_each: Union[bool, str] = False,
                  analyses: Optional[AnalysisManager] = None):
         self.passes: List[Pass] = list(passes or [])
         self.verify_each = verify_each
@@ -114,10 +125,12 @@ class PassManager:
 
     def run(self, program: Program) -> bool:
         changed = False
+        verify_tier = self.verify_each
         for pass_ in self.passes:
             pass_changed = pass_.run(program, self.analyses)
             changed |= bool(pass_changed)
             self.history.append(f"{pass_.name}:{'changed' if pass_changed else 'no-op'}")
-            if self.verify_each:
-                assert_valid(program)
+            if verify_tier:
+                assert_valid(program, tier=verify_tier,
+                             analyses=self.analyses)
         return changed

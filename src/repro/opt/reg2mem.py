@@ -1,0 +1,85 @@
+"""Register-to-memory demotion for CFG-restructuring transforms.
+
+Fusion's deep block merging and control-flow flattening both rewire the
+CFG so that a value defined on one path becomes *statically* reachable
+from another (a fused ``b``-side path can fall into an ``a``-side block
+without passing its definitions; a flattened loop re-enters its body
+through the dispatcher).  The transforms keep the *dynamic* def-before-use
+guarantee — the opaque ``ctrl``/state guards make the bad paths dead — but
+the IR no longer satisfies the LLVM-style dominance rule the ``full``
+verify tier enforces.
+
+:func:`demote_undominated` is the targeted cousin of LLVM's ``reg2mem``:
+it finds exactly the defs whose uses they no longer dominate and spills
+them through entry-block allocas (store straight after the def, reload
+immediately before each out-of-block use).  Entry allocas dominate every
+block and the reloads sit in the using block itself, so a single pass
+restores validity without touching values the transform left intact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.manager import AnalysisManager
+from ..ir.function import Function
+from ..ir.instructions import Alloca, Instruction, Load, Store
+
+
+def _undominated_defs(function: Function) -> List[Instruction]:
+    """Defs with at least one reachable use their block does not dominate."""
+    analyses = AnalysisManager()
+    domtree = analyses.domtree(function)
+    reachable = set(domtree.blocks())
+    position: Dict[Instruction, int] = {}
+    for block in function.blocks:
+        for index, inst in enumerate(block.instructions):
+            position[inst] = index
+
+    broken: List[Instruction] = []
+    seen = set()
+    for block in function.blocks:
+        if block not in reachable:
+            continue
+        for inst in block.instructions:
+            for op in inst.operands:
+                if not isinstance(op, Instruction) or op in seen:
+                    continue
+                def_block = op.parent
+                if (def_block is None or def_block.parent is not function
+                        or def_block not in reachable):
+                    continue  # structural verification's problem, not ours
+                if def_block is block or domtree.dominates(def_block, block):
+                    continue
+                seen.add(op)
+                broken.append(op)
+    return broken
+
+
+def demote_undominated(function: Function) -> int:
+    """Spill every undominated def to an entry alloca; return the count.
+
+    Uses in the defining block keep the SSA value (in-block order is
+    untouched); every other use is rewritten to a fresh ``Load`` inserted
+    directly before the user, so the reload trivially dominates it.
+    """
+    broken = _undominated_defs(function)
+    if not broken:
+        return 0
+    entry = function.entry_block
+    for value in broken:
+        def_block = value.parent
+        slot = Alloca(value.type, name=f"{value.name or 'demoted'}.slot")
+        entry.insert(0, slot)
+        def_block.insert(def_block.instructions.index(value) + 1,
+                         Store(value, slot))
+        for block in function.blocks:
+            if block is def_block:
+                continue
+            for user in list(block.instructions):
+                if value not in user.operands:
+                    continue
+                reload = Load(slot, name=f"{value.name or 'demoted'}.reload")
+                block.insert(block.instructions.index(user), reload)
+                user.replace_operand(value, reload)
+    return len(broken)

@@ -8,13 +8,13 @@ for the performance experiments — execute the program to count cycles.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
 from .backend.binary import Binary
 from .backend.lowering import lower_program
-from .baselines.ollvm import (OLLVMObfuscator, bogus_obfuscator,
-                              flattening_obfuscator, sub_obfuscator)
+from .baselines.ollvm import (bogus_obfuscator, flattening_obfuscator,
+                              sub_obfuscator)
 from .core.config import KhaosConfig, Mode
 from .core.obfuscator import Khaos, ObfuscationResult
 from .core.provenance import ProvenanceMap

@@ -52,6 +52,7 @@ charged counters on the (discarded) interpreter may differ from legacy.
 from __future__ import annotations
 
 import operator
+import os
 
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -981,6 +982,12 @@ class TraceCompiler:
                     lines.append("    " + line)
         lines.append("    return None")
         source = "\n".join(lines)
+        if self._interp.verify_traces or os.environ.get("REPRO_VERIFY_IR") == "full":
+            # reject the generated source before it ever executes if it
+            # strays from the single-env trace grammar (see ast_lint)
+            from ..analysis.static.ast_lint import verify_trace_source
+            verify_trace_source(
+                source, where=f"@{function.name}:{chain[0].name}")
         namespace = self._ns
         code = compile(source,
                        f"<superblock @{function.name}:{chain[0].name}>",

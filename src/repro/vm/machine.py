@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import os
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..ir.basicblock import BasicBlock
@@ -29,9 +29,9 @@ from ..ir.instructions import (Alloca, BinaryOp, Branch, Call, Cast, Compare,
                                CondBranch, GetElementPtr, Instruction, Load,
                                Ret, Select, Store, Switch, Unreachable)
 from ..ir.module import Program
-from ..ir.types import ArrayType, FloatType, IntType, PointerType, Type
-from ..ir.values import (Argument, Constant, GlobalVariable, NullPointer,
-                         UndefValue, Value)
+from ..ir.types import IntType, Type
+from ..ir.values import (Constant, GlobalVariable, NullPointer, UndefValue,
+                         Value)
 from .costs import CostModel, DEFAULT_COST_MODEL
 
 

@@ -18,9 +18,9 @@ import random
 from typing import Callable, Dict, List
 
 from ..ir.builder import IRBuilder, create_function
-from ..ir.function import Function, Linkage
+from ..ir.function import Function
 from ..ir.module import Module
-from ..ir.types import FloatType, FunctionType, PointerType, F64, I64
+from ..ir.types import FunctionType, PointerType, F64, I64
 from ..ir.values import Constant
 
 KernelBuilder = Callable[[Module, str, random.Random], Function]

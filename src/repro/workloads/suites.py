@@ -12,8 +12,8 @@ keyed by its name, so every experiment regenerates the same binaries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from ..ir.module import Program
 from ..utils import stable_hash

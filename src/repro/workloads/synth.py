@@ -18,7 +18,7 @@ programs with the structural features the Khaos evaluation depends on:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..ir.builder import IRBuilder, create_function
@@ -27,7 +27,7 @@ from ..ir.module import Module, Program
 from ..ir.types import FunctionType, PointerType, I64
 from ..ir.verifier import assert_valid
 from ..utils import stable_hash
-from .kernels import build_kernel, kernel_names
+from .kernels import build_kernel
 
 # Kernels with the (i64, i64) -> i64 shape, usable behind a function pointer.
 _TWO_ARG_KERNELS = ("checksum", "rle_length", "gcd_chain", "power_mod",

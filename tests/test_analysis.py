@@ -7,8 +7,7 @@ from repro.analysis import (BlockFrequency, CallGraph, ControlFlowGraph,
                             DominatorTree, LoopInfo, allocas_only_used_in,
                             count_innocuous_blocks, innocuous_blocks,
                             is_innocuous_block, region_inputs, region_outputs)
-from repro.ir import (GlobalVariable, IRBuilder, Module, Program,
-                      create_function, I64)
+from repro.ir import GlobalVariable, IRBuilder, Module, create_function, I64
 
 
 def build_loop_function():

@@ -103,7 +103,6 @@ class TestStaleDetection:
         assert am.cfg(f) is not None
 
     def test_terminator_rewrite_is_caught(self):
-        from repro.ir.instructions import Branch
         _, f = diamond_function()
         am = AnalysisManager(verify_invalidation=True)
         am.domtree(f)

@@ -2,12 +2,10 @@
 
 import pytest
 
-from repro.backend import (ARG_REGISTERS, disassemble, lower_function,
-                           lower_program, normalised_distances,
-                           opcode_histogram, opcode_histogram_distance,
-                           instruction_category)
-from repro.ir import (FunctionType, IRBuilder, Linkage, Module, Program,
-                      create_function, I64)
+from repro.backend import (disassemble, lower_function, lower_program,
+                           normalised_distances, opcode_histogram,
+                           opcode_histogram_distance, instruction_category)
+from repro.ir import FunctionType, IRBuilder, Module, create_function, I64
 from repro.opt import optimize_program
 
 

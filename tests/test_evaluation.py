@@ -8,7 +8,7 @@ from repro.evaluation import (EXPERIMENTS, experiment_names, figure9,
                               measure_overhead, measure_precision,
                               overhead_table, run_experiment)
 from repro.diffing import Asm2Vec, BinDiff
-from repro.workloads import coreutils_programs, embedded_programs, find_program
+from repro.workloads import embedded_programs, find_program
 
 
 @pytest.fixture(scope="module")

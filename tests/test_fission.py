@@ -1,13 +1,12 @@
 """Tests for the fission primitive: region identification (Algorithm 1),
 data-flow and control-flow rebuild, side conditions and statistics."""
 
-import pytest
 
 from repro.analysis import CallGraph
 from repro.core import Fission, FissionConfig, ProvenanceMap, RegionIdentifier
 from repro.core.stats import FissionStats
 from repro.ir import (Call, FunctionType, IRBuilder, Module, PointerType,
-                      Program, assert_valid, create_function, I64)
+                      assert_valid, create_function, I64)
 from repro.vm import run_program
 from tests.conftest import build_demo_program
 

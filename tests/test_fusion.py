@@ -1,9 +1,7 @@
 """Tests for the fusion primitive: pair selection, parameter compression, the
 ctrl dispatch, tagged pointers, trampolines, deep fusion and statistics."""
 
-import pytest
 
-from repro.analysis import CallGraph
 from repro.core import Fusion, FusionConfig, ProvenanceMap
 from repro.core.fusion import TAG_FUSED_A, TAG_FUSED_B
 from repro.core.stats import FusionStats

@@ -2,13 +2,11 @@
 
 import pytest
 
-from repro.ir import (Alloca, Argument, BasicBlock, BinaryOp, Branch, Call,
-                      Compare, CondBranch, Constant, Function, FunctionType,
-                      GlobalVariable, IRBuilder, Linkage, Load, Module,
-                      PointerType, Program, Ret, Store, Switch, UndefValue,
-                      VerificationError, assert_valid, create_function,
-                      function_to_str, instruction_to_str, int_const,
-                      module_to_str, verify_function, I64, F64, VOID)
+from repro.ir import (BasicBlock, BinaryOp, Branch, Call, Compare, CondBranch,
+                      Constant, Function, FunctionType, IRBuilder, Linkage,
+                      Load, Module, Program, Ret, Switch, VerificationError,
+                      assert_valid, create_function, instruction_to_str,
+                      int_const, module_to_str, verify_function, I64, VOID)
 from repro.vm import run_program
 
 
@@ -172,7 +170,6 @@ class TestPrinterAndVerifier:
         callee = create_function(module, "callee", I64, [I64])
         IRBuilder(callee.entry_block).ret(0)
         caller = create_function(module, "caller", I64, [])
-        b = IRBuilder(caller.entry_block)
         call = Call(callee, [])
         caller.entry_block.append(call)
         caller.entry_block.append(Ret(call))

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.ir import (ArrayType, FloatType, FunctionType, IntType, PointerType,
-                      VoidType, compatible_type, compress_parameter_lists,
-                      F32, F64, I1, I8, I32, I64, VOID)
+                      compatible_type, compress_parameter_lists, F32, F64, I8,
+                      I32, I64, VOID)
 
 
 class TestTypeBasics:

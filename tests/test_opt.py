@@ -1,13 +1,12 @@
 """Tests for the optimizer passes and pipelines."""
 
-import pytest
 
 from repro.ir import (Constant, IRBuilder, Linkage, Module, Program,
                       create_function, assert_valid, I64)
 from repro.opt import (ConstantFolding, DeadCodeElimination,
                        DeadFunctionElimination, Inliner, OptOptions,
                        PassManager, SimplifyCFG, build_pipeline, function_size,
-                       inline_call, optimize_program)
+                       optimize_program)
 from repro.vm import run_program
 
 

@@ -6,12 +6,10 @@ order, same cycle counts), and workers attached to a warm shared store must
 rebuild nothing.
 """
 
-import pytest
 
 from repro.core.variant_cache import VariantCache
 from repro.evaluation import (figure6, figure7, measure_overhead,
                               measure_overhead_sharded, shard_overhead_matrix)
-from repro.evaluation.executor import reset_worker_cache
 from repro.evaluation.sharding import ShardBatch
 from repro.store import KIND_VARIANT, ArtifactStore
 from repro.workloads.suites import spec2006_programs

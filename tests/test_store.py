@@ -27,11 +27,10 @@ import pytest
 from repro.core.variant_cache import VariantCache, variant_key
 from repro.diffing.index import clear_index_cache, feature_index
 from repro.evaluation.overhead import build_variant, measure_overhead
-from repro.store import (GENERATION_LOG_NAME, KIND_BINARY, KIND_DIFF,
-                         KIND_FEATURES, KIND_VARIANT, ArtifactStore,
-                         GenerationLog, StoreError, canonical_key,
-                         is_store_tree, persist_features, store_digest,
-                         store_dir_from_env, warm_features)
+from repro.store import (KIND_BINARY, KIND_DIFF, KIND_FEATURES, KIND_VARIANT,
+                         ArtifactStore, GenerationLog, StoreError,
+                         canonical_key, is_store_tree, persist_features,
+                         store_digest, store_dir_from_env, warm_features)
 from repro.workloads.suites import spec2006_programs
 
 WORKLOADS = spec2006_programs()[:2]
