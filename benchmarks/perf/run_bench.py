@@ -56,7 +56,14 @@ can diff the perf trajectory.  Tracked metrics:
   reference vs cold shard run vs ``jobs=2`` vs warm re-attach timings, all
   asserted row-identical; a warm run must adopt every per-function diff
   payload from the tree, re-score **zero** units and rebuild **zero**
-  ``FeatureIndex`` payloads.
+  ``FeatureIndex`` payloads;
+* **fault_overhead** — the cost of the supervision layer when nothing
+  fails: the fig8 function-sharded matrix at ``jobs=2`` over one warm tree,
+  supervised scheduler vs the PR 5 ``pool.map`` path
+  (``REPRO_EXECUTOR=legacy``), checkpointing disabled so neither arm
+  resume-short-circuits; both row sets asserted identical to the serial
+  reference (acceptance: supervised within 5% of legacy — informational
+  here, timing assertions stay out of --smoke).
 
 Set ``REPRO_VARIANT_CACHE_DIR`` to also exercise the legacy disk-persisted
 variant cache (save → reload round trip; adds a ``disk_cache`` section).
@@ -102,7 +109,8 @@ MEASURE_LABELS = ("fission", "fufi.ori")
 REQUIRED_KEYS = ("schema", "config", "vm", "vm_superblock",
                  "fig6_measure_loop", "fig6_end_to_end", "pipeline",
                  "variant_cache", "fig8_diff_phase", "fig67_sharded",
-                 "fig8_function_sharded", "verify_overhead")
+                 "fig8_function_sharded", "fault_overhead",
+                 "verify_overhead")
 
 
 def best_of(fn: Callable[[], object], reps: int) -> float:
@@ -580,6 +588,82 @@ def bench_fig8_function_sharded(programs, reps: int) -> Dict[str, object]:
     }
 
 
+def bench_fault_overhead(programs, reps: int) -> Dict[str, object]:
+    """What the supervision layer costs when nothing fails.
+
+    Runs the fig8 function-sharded matrix at ``jobs=2`` over one warm store
+    tree twice: once through the supervised scheduler (per-task futures,
+    timeout bookkeeping, retry accounting) and once through the PR 5
+    ``pool.map`` path (``REPRO_EXECUTOR=legacy``).  The tree is warmed
+    first so both arms time scheduling + store reads, not variant builds,
+    and ``REPRO_CHECKPOINT=off`` keeps the checkpoint layer from serving
+    either arm from the run journal.  Acceptance: supervised within 5% of
+    legacy (informational — only the row-identity checks gate --smoke).
+    """
+    from repro.evaluation.diff_sharding import measure_precision_sharded
+    from repro.evaluation.executor import reset_worker_cache
+
+    labels = MEASURE_LABELS
+    reference = measure_precision(programs, labels=labels, jobs=1)
+
+    base_dir = os.environ.get("REPRO_STORE_DIR")
+    if base_dir:
+        os.makedirs(base_dir, exist_ok=True)
+        store_root = tempfile.mkdtemp(prefix="faults-", dir=base_dir)
+        cleanup_dir = None
+    else:
+        cleanup_dir = tempfile.TemporaryDirectory(prefix="faults-store-")
+        store_root = cleanup_dir.name
+    saved = {name: os.environ.get(name)
+             for name in ("REPRO_STORE_DIR", "REPRO_CHECKPOINT",
+                          "REPRO_EXECUTOR", "REPRO_FAULTS")}
+    os.environ["REPRO_STORE_DIR"] = store_root
+    os.environ["REPRO_CHECKPOINT"] = "off"
+    os.environ.pop("REPRO_FAULTS", None)
+    try:
+        # warm the tree once (serial, no supervision in the timings below)
+        reset_worker_cache()
+        measure_precision_sharded(programs, labels=labels, jobs=1)
+
+        def timed(mode: str):
+            os.environ["REPRO_EXECUTOR"] = mode
+            reset_worker_cache()
+            gc.collect()
+            start = time.perf_counter()
+            report = measure_precision_sharded(programs, labels=labels,
+                                               jobs=2)
+            return report, time.perf_counter() - start
+
+        supervised, supervised_s = timed("supervised")
+        legacy, legacy_s = timed("legacy")
+        for _ in range(max(0, reps - 1)):
+            supervised_s = min(supervised_s, timed("supervised")[1])
+            legacy_s = min(legacy_s, timed("legacy")[1])
+    finally:
+        reset_worker_cache()
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        if cleanup_dir is not None:
+            cleanup_dir.cleanup()
+
+    return {
+        "programs": [wp.name for wp in programs],
+        "labels": list(labels),
+        "rows": len(reference.rows),
+        "legacy_s": round(legacy_s, 4),
+        "supervised_s": round(supervised_s, 4),
+        "overhead_pct": (round((supervised_s - legacy_s) / legacy_s * 100, 2)
+                         if legacy_s else None),
+        "identical": {
+            "supervised": supervised.rows == reference.rows,
+            "legacy": legacy.rows == reference.rows,
+        },
+    }
+
+
 def bench_verify_overhead(programs, reps: int) -> Dict[str, object]:
     """Full-tier IR verification overhead on the fig6 variant set.
 
@@ -727,6 +811,12 @@ def check_results(results: Dict[str, object]) -> List[str]:
         if fig8_sharded.get("stats", {}).get("cold", {}).get(
                 "diff_payloads_persisted", 0) <= 0:
             problems.append("cold fig8 shard run persisted no diff payloads")
+    faults = results.get("fault_overhead", {})
+    if faults:
+        for name in ("supervised", "legacy"):
+            if not faults.get("identical", {}).get(name, False):
+                problems.append(f"fault_overhead {name} executor run "
+                                f"diverged from the serial reference")
     overhead = results.get("verify_overhead", {})
     if overhead and overhead.get("errors", -1) != 0:
         problems.append("full-tier verification found errors on the fig6 "
@@ -768,7 +858,7 @@ def main(argv=None) -> int:
         batch = 32
 
     results = {
-        "schema": 7,
+        "schema": 8,
         "config": {"quick": bool(args.quick or args.smoke), "reps": reps,
                    "batch": batch,
                    "python": sys.version.split()[0],
@@ -790,6 +880,8 @@ def main(argv=None) -> int:
                                              max(1, reps // 2)),
         "fig8_function_sharded": bench_fig8_function_sharded(
             loop_programs, max(1, reps // 2)),
+        "fault_overhead": bench_fault_overhead(loop_programs,
+                                               max(1, reps // 2)),
         "verify_overhead": bench_verify_overhead(loop_programs,
                                                  max(1, reps // 2)),
     }
@@ -837,6 +929,10 @@ def main(argv=None) -> int:
           f"{f8['warm_shard_s']}s ({f8['warm_shard_speedup']}x, "
           f"{f8['warm_feature_rebuilds']} feature rebuilds, "
           f"identical={f8['identical']})")
+    fo = results["fault_overhead"]
+    print(f"fault overhead:    legacy {fo['legacy_s']}s -> supervised "
+          f"{fo['supervised_s']}s ({fo['overhead_pct']}% overhead, "
+          f"identical={fo['identical']})")
     vo = results["verify_overhead"]
     print(f"verify overhead:   cold full {vo['cold_full_s']}s -> warm "
           f"{vo['warm_full_s']}s ({vo['warm_speedup']}x; structural "

@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Seeded chaos check: the fig8 matrix under injected faults, bit-identical.
+
+The CI chaos job's driver.  Runs the figure-8 function-sharded matrix three
+times and requires all of them to agree with the fault-free serial
+reference driver:
+
+1. **reference** — ``measure_precision`` (the serial differential
+   reference), no store, no executor, no faults;
+2. **chaos** — ``measure_precision_sharded`` with ``jobs=2`` over a fresh
+   store tree, with seeded worker crashes and store corruption injected
+   (``worker_crash:p=0.2,seed=7;store_corrupt:p=0.1,seed=7`` by default):
+   the supervised executor must retry/respawn through the crashes and the
+   store must quarantine + rebuild through the corruption, and the merged
+   report must still be **bit-identical** to the reference;
+3. **resume** — the same matrix again over the same tree with faults off:
+   every shard must revive from the run journal (zero executed), proving
+   the checkpoint layer journaled through the chaos.
+
+Finally ``fsck_store.py --repair`` must leave the tree clean (exit 0) —
+corrupt objects the run never re-read get quarantined offline, and the
+ledger/journals reconcile.
+
+Exit status 0 only if every phase holds.  Runs in minutes on two
+workloads × two labels × two tools; scale with the flags.
+
+Usage:
+    PYTHONPATH=src python scripts/chaos_check.py
+    PYTHONPATH=src python scripts/chaos_check.py --workloads 3 --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from typing import List, Optional
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="seeded fig8 chaos check")
+    parser.add_argument("--workloads", type=int, default=2)
+    parser.add_argument("--labels", default="fission,fufi.ori")
+    parser.add_argument("--tools", type=int, default=2,
+                        help="how many diffing tools to include")
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--faults",
+                        default="worker_crash:p=0.2,seed=7;"
+                                "store_corrupt:p=0.1,seed=7")
+    parser.add_argument("--retries", type=int, default=10,
+                        help="per-task retry budget; a pool break burns one "
+                             "for every in-flight task, so chaos runs need "
+                             "headroom over the nominal crash count")
+    parser.add_argument("--keep-tree", action="store_true",
+                        help="print and keep the store tree for inspection")
+    args = parser.parse_args(argv)
+
+    # chaos knobs must be in the environment before any worker spawns;
+    # the reference run below explicitly clears them for itself
+    os.environ["REPRO_TASK_BACKOFF"] = "0.01"
+    os.environ["REPRO_TASK_RETRIES"] = str(args.retries)
+    # keep the pool path exercised: under a 20% crash rate the default
+    # serial-degradation threshold trips early by design, which is correct
+    # but leaves most of the matrix un-chaosed
+    os.environ["REPRO_MAX_POOL_FAILURES"] = "10"
+    os.environ.pop("REPRO_JOBS", None)
+    os.environ.pop("REPRO_STORE_DIR", None)
+    os.environ.pop("REPRO_VARIANT_CACHE_DIR", None)
+    os.environ.pop("REPRO_FAULTS", None)
+
+    from repro.diffing import all_differs
+    from repro.evaluation import measure_precision
+    from repro.evaluation.checkpoint import ShardRunStats
+    from repro.evaluation.diff_sharding import (DiffShardStats,
+                                                measure_precision_sharded)
+    from repro.evaluation.executor import reset_worker_cache
+    from repro.faults import reset_injector
+    from repro.workloads.suites import spec2006_programs
+
+    workloads = spec2006_programs()[:args.workloads]
+    labels = tuple(label.strip() for label in args.labels.split(",")
+                   if label.strip())
+    differs = all_differs()[:args.tools]
+
+    def rows(report):
+        return [(r.program, r.suite, r.tool, r.label, r.precision,
+                 r.similarity_score) for r in report.rows]
+
+    print(f"chaos_check: {len(workloads)} workloads x {labels} x "
+          f"{[d.name for d in differs]}, jobs={args.jobs}, "
+          f"faults={args.faults!r}")
+
+    # 1. fault-free serial reference (no store, no executor involvement)
+    reset_worker_cache()
+    reference = rows(measure_precision(workloads, labels, differs))
+    print(f"  reference: {len(reference)} rows")
+
+    tree = tempfile.mkdtemp(prefix="chaos-store-")
+    failures = 0
+    try:
+        # 2. chaos run: crashes + corruption over a fresh shared tree
+        os.environ["REPRO_STORE_DIR"] = tree
+        os.environ["REPRO_FAULTS"] = args.faults
+        reset_worker_cache()
+        reset_injector()
+        stats = DiffShardStats()
+        chaos_run = ShardRunStats()
+        chaos = rows(measure_precision_sharded(
+            workloads, labels, differs, jobs=args.jobs, stats=stats,
+            run_stats=chaos_run))
+        if chaos == reference:
+            print(f"  chaos run: bit-identical "
+                  f"({chaos_run.executed} shards executed, "
+                  f"{stats.units_scored} units scored)")
+        else:
+            print("  chaos run: REPORT DIVERGED FROM SERIAL REFERENCE")
+            failures += 1
+
+        # 3. resume over the same tree, faults off: every journaled unit is
+        # served from the store, zero units re-scored.  (A shard whose
+        # *journal object* was itself a corruption victim re-executes as
+        # pure store reads — the manifest is advisory, the store is the
+        # truth — so the strict assertion is on scored units, not shards.)
+        os.environ.pop("REPRO_FAULTS", None)
+        reset_worker_cache()
+        reset_injector()
+        resumed_stats = DiffShardStats()
+        resume_run = ShardRunStats()
+        resumed = rows(measure_precision_sharded(
+            workloads, labels, differs, jobs=args.jobs, stats=resumed_stats,
+            run_stats=resume_run))
+        ok = (resumed == reference and resumed_stats.units_scored == 0)
+        if ok:
+            print(f"  resume: {resume_run.resumed}/{resume_run.planned} "
+                  f"shards revived from the journal "
+                  f"({resume_run.executed} re-read from store), "
+                  f"zero units re-scored")
+        else:
+            print(f"  resume: FAILED (executed={resume_run.executed}, "
+                  f"resumed={resume_run.resumed}/{resume_run.planned}, "
+                  f"units_scored={resumed_stats.units_scored}, "
+                  f"identical={resumed == reference})")
+            failures += 1
+
+        # 4. the tree must fsck clean after repairs
+        script = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                              "fsck_store.py")
+        result = subprocess.run([sys.executable, script, "--repair", tree],
+                                env=dict(os.environ), capture_output=True,
+                                text=True)
+        sys.stdout.write(result.stdout)
+        if result.returncode != 0:
+            sys.stderr.write(result.stderr)
+            print("  fsck: FAILED")
+            failures += 1
+        else:
+            print("  fsck: clean")
+    finally:
+        os.environ.pop("REPRO_STORE_DIR", None)
+        os.environ.pop("REPRO_FAULTS", None)
+        if args.keep_tree:
+            print(f"  store tree kept at {tree}")
+        else:
+            shutil.rmtree(tree, ignore_errors=True)
+
+    print("chaos_check: OK" if not failures
+          else f"chaos_check: {failures} phase(s) FAILED")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

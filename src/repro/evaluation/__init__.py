@@ -9,8 +9,14 @@ from .opcode_distance import DistanceReport, figure11, measure_opcode_distance
 from .internals import InternalsReport, InternalsRow, measure_internals, table2
 from .reporting import format_table, matrix_table, overhead_table
 from .experiments import EXPERIMENTS, Experiment, experiment_names, run_experiment
-from .executor import (reset_worker_cache, resolve_jobs, run_tasks,
-                       worker_cache)
+from .executor import (ExecutorTaskError, executor_mode, reset_worker_cache,
+                       resolve_jobs, resolve_task_retries,
+                       resolve_task_timeout, run_tasks, worker_cache,
+                       worker_cache_events)
+from .faults import (FaultInjected, FaultInjector, FaultRule, active_injector,
+                     parse_faults, reset_injector)
+from .checkpoint import (RunManifest, ShardRunStats, checkpoint_enabled,
+                         run_checkpointed, run_id)
 from .sharding import (ShardBatch, measure_overhead_sharded,
                        shard_overhead_matrix)
 from .diff_sharding import (DiffShardStats, measure_bintuner_sharded,
@@ -26,7 +32,13 @@ __all__ = [
     "InternalsReport", "InternalsRow", "measure_internals", "table2",
     "format_table", "matrix_table", "overhead_table", "EXPERIMENTS",
     "Experiment", "experiment_names", "run_experiment",
-    "reset_worker_cache", "resolve_jobs", "run_tasks", "worker_cache",
+    "ExecutorTaskError", "executor_mode", "reset_worker_cache",
+    "resolve_jobs", "resolve_task_retries", "resolve_task_timeout",
+    "run_tasks", "worker_cache", "worker_cache_events",
+    "FaultInjected", "FaultInjector", "FaultRule", "active_injector",
+    "parse_faults", "reset_injector",
+    "RunManifest", "ShardRunStats", "checkpoint_enabled", "run_checkpointed",
+    "run_id",
     "ShardBatch", "measure_overhead_sharded", "shard_overhead_matrix",
     "DiffShardStats", "measure_bintuner_sharded", "measure_escape_sharded",
     "measure_precision_sharded", "resolve_diff_shards", "shard_diff_matrix",

@@ -41,7 +41,7 @@ four store-keyed opt-level references.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..baselines.bintuner import BinTuner
@@ -61,9 +61,9 @@ from ..utils import geometric_mean
 from ..vm.machine import run_program
 from ..workloads.suites import WorkloadProgram
 from .bintuner_compare import OPT_LEVELS, BinTunerReport, SimilarityRow
+from .checkpoint import ShardRunStats, run_checkpointed
 from .escape import ESCAPE_LABELS, EscapeReport, EscapeRow, escape_differs
-from .executor import (resolve_positive_int, rooted_store, run_tasks,
-                       worker_cache)
+from .executor import resolve_positive_int, rooted_store, worker_cache
 from .overhead import build_variant
 from .precision import PrecisionReport, PrecisionRow
 
@@ -305,23 +305,60 @@ MergedCell = Tuple[WorkloadProgram, str, BinaryDiffer, Tuple[str, ...],
                    DiffResult, Dict[str, Optional[int]]]
 
 
+def diff_shard_key(shard: DiffShard) -> Tuple:
+    """The value-based checkpoint identity of one diff shard.
+
+    Built from the same ingredients as the per-unit diff payload keys (tool
+    config × variant keys × modular slice), so it is stable across
+    processes, machines and schedulers — which is what lets an interrupted
+    run resume and two overlapping matrices (fig8 and fig10 share cells)
+    reuse each other's journaled shards.
+    """
+    workload, label, differ, options, index, count = shard
+    return ("diffshard", differ.cache_key(),
+            variant_key(workload, "baseline", options),
+            variant_key(workload, obfuscator_for(label), options),
+            index, count)
+
+
+def _normalize_resumed(result: DiffShardResult) -> DiffShardResult:
+    """Rewrite a revived shard's counters as the pure store read it was.
+
+    A resumed shard scored nothing, adopted no features and persisted
+    nothing in *this* run — exactly like a fully warm shard — so the
+    zero-rebuild stats assertions hold across a resume.
+    """
+    return replace(result, units_scored=0,
+                   units_from_store=len(result.partial.sources),
+                   features_adopted=0, features_persisted=0,
+                   diff_payloads_persisted=0)
+
+
 def _merged_cells(workloads: Sequence[WorkloadProgram],
                   labels: Sequence[str],
                   differs: Sequence[BinaryDiffer],
                   options: Optional[OptOptions],
                   jobs: Optional[int],
                   shards_per_cell: Optional[int],
-                  stats: Optional[DiffShardStats]) -> List[MergedCell]:
+                  stats: Optional[DiffShardStats],
+                  run_stats: Optional[ShardRunStats] = None
+                  ) -> List[MergedCell]:
     """Run the sharded matrix and merge each cell deterministically.
 
     Shards fan out with ``chunksize=1`` — unlike the cell-granular executor
     path there is no one-workload-per-worker chunking, because the whole
     point is splitting below a cell; variant reuse across shards comes from
-    the shared store (or each worker's in-memory cache without one).
+    the shared store (or each worker's in-memory cache without one).  With
+    a store the run checkpoints: each shard's result is journaled on
+    completion and revived on a restart instead of re-scored.
     """
     shards = shard_diff_matrix(workloads, labels, differs, options,
                                shards_per_cell)
-    results = run_tasks(_diff_shard, shards, jobs=jobs, chunksize=1)
+    keys = [diff_shard_key(shard) for shard in shards]
+    results = run_checkpointed(_diff_shard, shards, keys,
+                               ("fig8-10", tuple(keys)), jobs=jobs,
+                               chunksize=1, normalize=_normalize_resumed,
+                               stats=run_stats)
     cells: List[MergedCell] = []
     position = 0
     for workload in workloads:
@@ -348,7 +385,8 @@ def measure_precision_sharded(workloads: Sequence[WorkloadProgram],
                               options: Optional[OptOptions] = None,
                               jobs: Optional[int] = None,
                               shards_per_cell: Optional[int] = None,
-                              stats: Optional[DiffShardStats] = None
+                              stats: Optional[DiffShardStats] = None,
+                              run_stats: Optional[ShardRunStats] = None
                               ) -> PrecisionReport:
     """Figure 8 through function-granularity shards.
 
@@ -361,7 +399,8 @@ def measure_precision_sharded(workloads: Sequence[WorkloadProgram],
     differs = list(differs) if differs is not None else all_differs()
     report = PrecisionReport()
     for workload, label, differ, units, merged, ranks in _merged_cells(
-            workloads, labels, differs, options, jobs, shards_per_cell, stats):
+            workloads, labels, differs, options, jobs, shards_per_cell, stats,
+            run_stats):
         correct = sum(1 for unit in units if ranks.get(unit) == 1)
         precision = correct / len(units) if units else 0.0
         report.rows.append(PrecisionRow(
@@ -377,7 +416,8 @@ def measure_escape_sharded(workloads: Sequence[WorkloadProgram],
                            options: Optional[OptOptions] = None,
                            jobs: Optional[int] = None,
                            shards_per_cell: Optional[int] = None,
-                           stats: Optional[DiffShardStats] = None
+                           stats: Optional[DiffShardStats] = None,
+                           run_stats: Optional[ShardRunStats] = None
                            ) -> EscapeReport:
     """Figure 10 through function-granularity shards (serial-identical)."""
     differs = list(differs) if differs is not None else escape_differs()
@@ -385,7 +425,7 @@ def measure_escape_sharded(workloads: Sequence[WorkloadProgram],
     report = EscapeReport()
     for workload, label, differ, units, _merged, ranks in _merged_cells(
             vulnerable_workloads, labels, differs, options, jobs,
-            shards_per_cell, stats):
+            shards_per_cell, stats, run_stats):
         unit_set = set(units)
         for function_name in workload.vulnerable_functions:
             if function_name not in unit_set:
@@ -448,7 +488,9 @@ def _bintuner_shard(shard: BinTunerShard) -> Tuple[List[float], Optional[float]]
 
 def measure_bintuner_sharded(workloads: Sequence[WorkloadProgram],
                              tuner_iterations: int = 6,
-                             jobs: Optional[int] = None) -> BinTunerReport:
+                             jobs: Optional[int] = None,
+                             run_stats: Optional[ShardRunStats] = None
+                             ) -> BinTunerReport:
     """Figure 9 through binary-pair shards, bit-identical to the serial loop.
 
     The merge interleaves each workload's two protection shards back into
@@ -456,13 +498,17 @@ def measure_bintuner_sharded(workloads: Sequence[WorkloadProgram],
     aggregates the overhead geomean in workload order.
     """
     shards = shard_bintuner_matrix(workloads, tuner_iterations)
+    keys = [("fig9shard", variant_key(workload, "baseline", None),
+             protection, iterations)
+            for workload, protection, iterations in shards]
     # with a shared store the opt-level references are fetched, not rebuilt,
     # so the two protection shards of one workload can land anywhere;
     # without one, chunk them onto the same worker so its in-memory cache
     # builds each workload's references once instead of once per shard
     chunksize = 1 if store_dir_from_env() else 2
-    results = run_tasks(_bintuner_shard, shards, jobs=jobs,
-                        chunksize=chunksize)
+    results = run_checkpointed(_bintuner_shard, shards, keys,
+                               ("fig9", tuple(keys)), jobs=jobs,
+                               chunksize=chunksize, stats=run_stats)
     report = BinTunerReport()
     overheads: List[float] = []
     for position, workload in enumerate(workloads):

@@ -5,39 +5,92 @@ grids in which every cell is a pure function of its inputs: workload
 synthesis, the obfuscators and the optimizer are all seeded, so a cell
 computes the same rows no matter where or when it runs.  That makes the
 matrices embarrassingly parallel — this module fans the cells across worker
-processes with :mod:`concurrent.futures` while keeping the results
-bit-identical to a serial run:
+processes while keeping the results bit-identical to a serial run.
 
-* tasks are submitted and collected with ``ProcessPoolExecutor.map``, which
-  preserves submission order, and the serial order is exactly the loop order
-  of the corresponding ``measure_*`` driver;
-* each worker process keeps one :class:`~repro.core.variant_cache.VariantCache`
-  (:func:`worker_cache`); with ``REPRO_STORE_DIR`` set, every worker
-  *attaches* to the one shared on-disk
-  :class:`~repro.store.artifact_store.ArtifactStore` tree — artifacts built
-  by any process are read (not rebuilt) by all the others.  The deprecated
-  ``REPRO_VARIANT_CACHE_DIR`` is still honoured: pointing at a store tree it
-  acts as an alias for ``REPRO_STORE_DIR``; pointing at a legacy
-  ``variants.pkl`` it seeds each worker's in-memory layer (the pre-store
-  behaviour);
-* ``jobs`` defaults to the ``REPRO_JOBS`` environment variable and, absent
-  that, to 1 — results stay deterministic and tier-1-safe with no worker
-  processes at all.  Invalid counts (zero, negative, non-integer) raise
-  :class:`ValueError` at entry instead of failing deep inside the pool.
+Since PR 8 the pool path is a **supervised executor** rather than a bare
+``ProcessPoolExecutor.map``:
+
+* every task is an individual future carrying a configurable timeout
+  (``REPRO_TASK_TIMEOUT``, seconds; unset/0 disables) and a bounded retry
+  budget with exponential backoff + jitter (``REPRO_TASK_RETRIES``,
+  default 2; ``REPRO_TASK_BACKOFF`` scales the base delay);
+* a hung worker — one whose task exceeds the timeout — is killed together
+  with its pool, the pool is respawned, the hung task retried and the
+  innocent in-flight tasks resubmitted without burning a retry;
+* a crashed worker (``BrokenProcessPool``: segfault, OOM kill, injected
+  ``worker_crash``) likewise respawns the pool; after
+  :data:`MAX_POOL_FAILURES` consecutive pool deaths with no completed task
+  in between the run degrades gracefully to serial in-process execution
+  instead of thrashing;
+* results are collected **by submission index**, so ``jobs>1`` stays
+  bit-identical to the serial loop regardless of completion order;
+* a task that fails every attempt aborts the run cleanly with
+  :class:`ExecutorTaskError` carrying the task's identity.
+
+``REPRO_EXECUTOR=legacy`` selects the PR 5 ``pool.map`` scheduler — kept as
+the supervision layer's own differential reference (and the baseline of the
+``fault_overhead`` bench section).  The worker-side task wrapper is where
+seeded chaos (:mod:`repro.faults`, ``REPRO_FAULTS``) injects crashes, hangs
+and task errors; the serial in-process path never injects, so it stays the
+untouched differential reference.
+
+Each worker process keeps one
+:class:`~repro.core.variant_cache.VariantCache` (:func:`worker_cache`); with
+``REPRO_STORE_DIR`` set, every worker *attaches* to the one shared on-disk
+:class:`~repro.store.artifact_store.ArtifactStore` tree — artifacts built by
+any process are read (not rebuilt) by all the others.  The deprecated
+``REPRO_VARIANT_CACHE_DIR`` is still honoured: pointing at a store tree it
+acts as an alias for ``REPRO_STORE_DIR``; pointing at a legacy
+``variants.pkl`` it seeds each worker's in-memory layer.  ``jobs`` defaults
+to ``REPRO_JOBS`` and, absent that, to 1 — deterministic and tier-1-safe
+with no worker processes at all.
 """
 
 from __future__ import annotations
 
+import logging
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, TypeVar
+import random
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, TypeVar
 
 from ..core.variant_cache import VariantCache, cache_file_path
+from ..faults import active_injector
 from ..store.artifact_store import (ArtifactStore, StoreError,
                                     store_dir_from_env)
 
 Task = TypeVar("Task")
 Result = TypeVar("Result")
+
+logger = logging.getLogger(__name__)
+
+#: Consecutive pool deaths (no task completed in between) before the
+#: supervisor stops respawning pools and finishes the run serially
+#: in-process.  Pool deaths separated by progress reset the count.
+#: Override with ``REPRO_MAX_POOL_FAILURES`` (chaos runs raise it to keep
+#: the pool path exercised under high crash rates).
+MAX_POOL_FAILURES = 3
+
+
+def _max_pool_failures() -> int:
+    raw = os.environ.get("REPRO_MAX_POOL_FAILURES", "").strip()
+    if raw:
+        try:
+            value = int(raw)
+            if value > 0:
+                return value
+        except ValueError:
+            pass
+    return MAX_POOL_FAILURES
+
+#: Default retry budget per task (attempts = retries + 1).
+DEFAULT_TASK_RETRIES = 2
+
+#: Base of the exponential backoff between retry attempts, seconds.
+DEFAULT_TASK_BACKOFF = 0.05
 
 
 def resolve_positive_int(value: Optional[int], env_var: str, default: int,
@@ -81,9 +134,114 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
         hint=" (use jobs=os.cpu_count() for one worker per core)")
 
 
+def resolve_task_retries(retries: Optional[int] = None) -> int:
+    """Retry budget per task: explicit, else ``REPRO_TASK_RETRIES``, else 2.
+
+    ``0`` is valid (fail fast on the first error); negatives and
+    non-integers raise :class:`ValueError` at entry.
+    """
+    if retries is None:
+        raw = os.environ.get("REPRO_TASK_RETRIES", "").strip()
+        if not raw:
+            return DEFAULT_TASK_RETRIES
+        try:
+            retries = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_TASK_RETRIES must be a non-negative integer, "
+                f"got {raw!r}")
+        if retries < 0:
+            raise ValueError(
+                f"REPRO_TASK_RETRIES must be a non-negative integer, "
+                f"got {raw!r}")
+        return retries
+    if (isinstance(retries, bool) or not isinstance(retries, int)
+            or retries < 0):
+        raise ValueError(
+            f"retries must be a non-negative integer, got {retries!r}")
+    return retries
+
+
+def resolve_task_timeout(timeout: Optional[float] = None) -> Optional[float]:
+    """Per-task timeout in seconds: explicit, else ``REPRO_TASK_TIMEOUT``.
+
+    ``None`` (and an env value of ``0``) disables timeout supervision — a
+    hung worker then stalls the run, exactly like the pre-supervision
+    executor.  Negative or unparsable values raise :class:`ValueError`.
+    """
+    if timeout is None:
+        raw = os.environ.get("REPRO_TASK_TIMEOUT", "").strip()
+        if not raw:
+            return None
+        try:
+            timeout = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_TASK_TIMEOUT must be a number of seconds, got {raw!r}")
+        if timeout < 0:
+            raise ValueError(
+                f"REPRO_TASK_TIMEOUT must be non-negative, got {raw!r}")
+        return timeout or None
+    if isinstance(timeout, bool) or not isinstance(timeout, (int, float)) \
+            or timeout <= 0:
+        raise ValueError(
+            f"timeout must be a positive number of seconds, got {timeout!r}")
+    return float(timeout)
+
+
+def _backoff_base() -> float:
+    raw = os.environ.get("REPRO_TASK_BACKOFF", "").strip()
+    if raw:
+        try:
+            value = float(raw)
+            if value >= 0:
+                return value
+        except ValueError:
+            pass
+    return DEFAULT_TASK_BACKOFF
+
+
+def executor_mode() -> str:
+    """``supervised`` (default) or ``legacy`` (the PR 5 ``pool.map`` path)."""
+    mode = os.environ.get("REPRO_EXECUTOR", "").strip() or "supervised"
+    if mode not in ("supervised", "legacy"):
+        raise ValueError(
+            f"REPRO_EXECUTOR must be 'supervised' or 'legacy', got {mode!r}")
+    return mode
+
+
+class ExecutorTaskError(RuntimeError):
+    """A task failed every attempt; carries the task's identity.
+
+    ``index`` is the task's submission position, ``task`` a truncated
+    ``repr`` of the task payload — enough to re-run the failing cell by
+    hand — and ``attempts`` how many times it was tried.
+    """
+
+    def __init__(self, index: int, task: object, attempts: int,
+                 cause: str):
+        text = repr(task)
+        if len(text) > 200:
+            text = text[:197] + "..."
+        self.index = index
+        self.task_repr = text
+        self.attempts = attempts
+        super().__init__(
+            f"task {index} failed after {attempts} attempt(s): {cause} "
+            f"[task: {text}]")
+
+
 # -- per-worker variant cache ---------------------------------------------------------
 
 _WORKER_CACHE: Optional[VariantCache] = None
+
+#: Operator-facing counters of worker-cache startup degradations: a corrupt
+#: legacy seed file or an unusable store tree is survivable (builds are
+#: deterministic) but must be *visible*, not silent — a worker that starts
+#: cold because the seed was corrupt looks identical to one that starts
+#: cold because there was no seed, unless these counters say otherwise.
+_CACHE_EVENTS: Dict[str, int] = {"preload_failures": 0,
+                                 "store_attach_failures": 0}
 
 #: Default LRU bound of each worker's in-memory layer.  Shards keep a small
 #: working set (one workload's baseline + variants at a time); an unbounded
@@ -112,13 +270,25 @@ def worker_cache() -> VariantCache:
     store tree behind the deprecated ``REPRO_VARIANT_CACHE_DIR`` alias) the
     cache attaches to the shared on-disk artifact store; a legacy
     ``variants.pkl`` under ``REPRO_VARIANT_CACHE_DIR`` additionally seeds
-    the in-memory layer.  A corrupt or incompatible tree/file is ignored,
-    not fatal — builds are deterministic, so starting cold only costs time.
+    the in-memory layer.  A corrupt or incompatible tree/file is logged and
+    counted (:func:`worker_cache_events`), never fatal — builds are
+    deterministic, so starting cold only costs time.
     """
     global _WORKER_CACHE
     if _WORKER_CACHE is None:
         _WORKER_CACHE = _initial_cache()
     return _WORKER_CACHE
+
+
+def worker_cache_events() -> Dict[str, int]:
+    """Counters of best-effort worker-cache startups that degraded.
+
+    ``preload_failures`` — legacy ``variants.pkl`` seed files that could not
+    be imported; ``store_attach_failures`` — shared store trees that could
+    not be attached.  Both also emit one ``WARNING`` log line with the
+    cause, so an operator can tell a corrupt seed file from a cold start.
+    """
+    return dict(_CACHE_EVENTS)
 
 
 def _initial_cache() -> VariantCache:
@@ -128,8 +298,13 @@ def _initial_cache() -> VariantCache:
     if store_dir:
         try:
             store = ArtifactStore.attach(store_dir, max_memory_entries=bound)
-        except (StoreError, OSError):
-            # an unusable shared tree must never kill a worker
+        except (StoreError, OSError) as error:
+            # an unusable shared tree must never kill a worker — but it must
+            # not silently cost a full rebuild either
+            _CACHE_EVENTS["store_attach_failures"] += 1
+            logger.warning(
+                "worker cache: cannot attach store %s (%s: %s); "
+                "building storeless", store_dir, type(error).__name__, error)
             store = None
     cache = VariantCache(max_entries=bound, store=store)
     directory = os.environ.get("REPRO_VARIANT_CACHE_DIR")
@@ -138,12 +313,16 @@ def _initial_cache() -> VariantCache:
         if os.path.exists(path):
             try:
                 cache.import_legacy(path)
-            except Exception:
+            except Exception as error:
                 # best-effort preload: a corrupt, truncated or stale file
                 # (UnpicklingError, AttributeError on renamed classes, ...)
                 # must never kill a worker — builds are deterministic, so
-                # starting empty only costs time
-                pass
+                # starting empty only costs time.  One warning + a counter
+                # so the degradation is diagnosable, not silent.
+                _CACHE_EVENTS["preload_failures"] += 1
+                logger.warning(
+                    "worker cache: preload from %s failed (%s: %s); "
+                    "starting cold", path, type(error).__name__, error)
     return cache
 
 
@@ -151,6 +330,8 @@ def reset_worker_cache() -> None:
     """Drop the process-local cache (tests use this to isolate scenarios)."""
     global _WORKER_CACHE
     _WORKER_CACHE = None
+    _CACHE_EVENTS["preload_failures"] = 0
+    _CACHE_EVENTS["store_attach_failures"] = 0
 
 
 # -- experiment-matrix helpers --------------------------------------------------------
@@ -183,21 +364,237 @@ def ephemeral_cache(labels) -> VariantCache:
     return VariantCache(max_entries=len(labels) + 1)
 
 
-# -- the map primitive ----------------------------------------------------------------
+# -- the supervised map primitive -----------------------------------------------------
+
+
+def _supervised_entry(payload: Tuple) -> object:
+    """Worker-side task wrapper: the chaos injection point.
+
+    Runs in the worker process.  With ``REPRO_FAULTS`` set (workers inherit
+    the environment) the injector may crash the process, stall the task or
+    raise before the real task function runs; the firing decision is a pure
+    function of (seed, task index, attempt), so chaos runs are reproducible.
+    """
+    task_fn, task, index, attempt = payload
+    injector = active_injector()
+    if injector is not None:
+        token = f"task:{index}"
+        injector.maybe_crash(token, attempt)
+        injector.maybe_hang(token, attempt)
+        injector.maybe_error(token, attempt)
+    return task_fn(task)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*, killing workers that will never finish."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except (OSError, AttributeError):  # already gone
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_supervised(task_fn: Callable[[Task], Result], tasks: List[Task],
+                    workers: int, timeout: Optional[float], retries: int,
+                    on_result: Optional[Callable[[int, Result], None]]
+                    ) -> List[Result]:
+    """The supervision loop: per-task futures, retry, kill, respawn.
+
+    In-flight futures are capped at the worker count, so every in-flight
+    task is actually *running* and its submission timestamp approximates its
+    start — which is what makes the timeout meaningful without any
+    cooperation from the task function.
+    """
+    backoff = _backoff_base()
+    jitter = random.Random()  # timing only; results never depend on it
+    total = len(tasks)
+    results: Dict[int, Result] = {}
+    pending = deque((index, 0) for index in range(total))
+    inflight: Dict[object, Tuple[int, int, float]] = {}
+    pool: Optional[ProcessPoolExecutor] = None
+    pool_failures = 0
+    failure_limit = _max_pool_failures()
+
+    def record(index: int, value: Result) -> None:
+        results[index] = value
+        if on_result is not None:
+            on_result(index, value)
+
+    def recycle_pool() -> None:
+        nonlocal pool
+        if pool is not None:
+            _kill_pool(pool)
+            pool = None
+
+    def requeue(index: int, attempt: int, burn_retry: bool,
+                cause: str) -> None:
+        """Put a task back on the queue, aborting if its budget is spent."""
+        next_attempt = attempt + 1 if burn_retry else attempt
+        if next_attempt > retries:
+            recycle_pool()
+            raise ExecutorTaskError(index, tasks[index], attempt + 1, cause)
+        pending.append((index, next_attempt))
+
+    def run_serially() -> None:
+        """Graceful degradation: finish the remaining tasks in-process."""
+        logger.warning(
+            "executor: %d consecutive pool failures; finishing %d task(s) "
+            "serially in-process", pool_failures,
+            len(pending) + len(inflight))
+        for future, (index, _attempt, _started) in list(inflight.items()):
+            pending.append((index, 0))
+        inflight.clear()
+        for index, _attempt in sorted(pending):
+            if index not in results:
+                record(index, task_fn(tasks[index]))
+        pending.clear()
+
+    try:
+        while pending or inflight:
+            if pool_failures >= failure_limit:
+                recycle_pool()
+                run_serially()
+                break
+            if pool is None:
+                pool = ProcessPoolExecutor(max_workers=workers)
+            # keep at most one running task per worker, so submission time
+            # approximates start time for the timeout below
+            broken = False
+            while pending and len(inflight) < workers:
+                index, attempt = pending.popleft()
+                if index in results:  # already satisfied by a racing retry
+                    continue
+                try:
+                    future = pool.submit(
+                        _supervised_entry, (task_fn, tasks[index], index,
+                                            attempt))
+                except (BrokenProcessPool, RuntimeError):
+                    pending.appendleft((index, attempt))
+                    broken = True
+                    break
+                inflight[future] = (index, attempt, time.monotonic())
+            if broken:
+                pool_failures += 1
+                recycle_pool()
+                for future, (index, attempt, _started) in inflight.items():
+                    requeue(index, attempt, burn_retry=True,
+                            cause="process pool broke")
+                inflight.clear()
+                continue
+            if not inflight:
+                continue
+
+            tick = None
+            if timeout is not None:
+                now = time.monotonic()
+                tick = max(0.0,
+                           min(started + timeout for (_i, _a, started)
+                               in inflight.values()) - now)
+            done, _not_done = wait(set(inflight), timeout=tick,
+                                   return_when=FIRST_COMPLETED)
+
+            pool_broke = False
+            broken_tasks: List[Tuple[int, int]] = []
+            for future in done:
+                index, attempt, _started = inflight.pop(future)
+                error = future.exception()
+                if error is None:
+                    record(index, future.result())
+                    pool_failures = 0
+                elif isinstance(error, BrokenProcessPool):
+                    # the worker died (crash, OOM, kill); which in-flight
+                    # task was the culprit is unknowable, so all of them
+                    # burn a retry below — and every requeue advances the
+                    # attempt, so a crash decision keyed on (task, attempt)
+                    # re-rolls instead of firing forever
+                    pool_broke = True
+                    broken_tasks.append((index, attempt))
+                else:
+                    delay = backoff * (2 ** attempt)
+                    requeue(index, attempt, burn_retry=True,
+                            cause=f"{type(error).__name__}: {error}")
+                    if delay > 0:
+                        time.sleep(delay * (0.5 + jitter.random()))
+            if pool_broke:
+                pool_failures += 1
+                recycle_pool()
+                for index, attempt in broken_tasks:
+                    requeue(index, attempt, burn_retry=True,
+                            cause="process pool broke")
+                for future, (index, attempt, _started) in inflight.items():
+                    requeue(index, attempt, burn_retry=True,
+                            cause="process pool broke")
+                inflight.clear()
+                continue
+
+            if timeout is not None and inflight:
+                now = time.monotonic()
+                hung = {future: entry for future, entry in inflight.items()
+                        if now - entry[2] > timeout}
+                if hung:
+                    # a hung worker can only be stopped by killing it, and
+                    # killing it takes the pool down: respawn, retry the hung
+                    # task(s), resubmit the innocent in-flight ones for free
+                    recycle_pool()
+                    for future, (index, attempt, _started) in inflight.items():
+                        if future in hung:
+                            logger.warning(
+                                "executor: task %d exceeded %.3gs timeout "
+                                "(attempt %d); killing worker and retrying",
+                                index, timeout, attempt + 1)
+                            requeue(index, attempt, burn_retry=True,
+                                    cause=f"timed out after {timeout}s")
+                        else:
+                            requeue(index, attempt, burn_retry=False,
+                                    cause="")
+                    inflight.clear()
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+    return [results[index] for index in range(total)]
 
 
 def run_tasks(task_fn: Callable[[Task], Result], tasks: Iterable[Task],
-              jobs: Optional[int] = None, chunksize: int = 1) -> List[Result]:
+              jobs: Optional[int] = None, chunksize: int = 1,
+              timeout: Optional[float] = None, retries: Optional[int] = None,
+              on_result: Optional[Callable[[int, Result], None]] = None
+              ) -> List[Result]:
     """Apply ``task_fn`` to every task, preserving task order in the results.
 
     With ``jobs <= 1`` this is a plain in-process loop (no pickling, caller's
-    caches apply).  With more, tasks and results cross process boundaries, so
-    both must be picklable and ``task_fn`` must be a module-level callable.
+    caches apply, no supervision, no fault injection) — the differential
+    reference.  With more, tasks and results cross process boundaries, so
+    both must be picklable and ``task_fn`` must be a module-level callable;
+    the supervised scheduler adds per-task timeout, bounded retry, pool
+    respawn and serial degradation (module docstring).  ``chunksize`` only
+    applies to the ``REPRO_EXECUTOR=legacy`` map path — supervision is
+    per-task by construction.
+
+    ``on_result(index, result)`` is invoked in the *calling* process as each
+    task's result is accepted (completion order, not submission order) —
+    the checkpoint layer journals completed shard units through it.
     """
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
+    effective_timeout = resolve_task_timeout(timeout)
+    effective_retries = resolve_task_retries(retries)
     if jobs <= 1 or len(tasks) <= 1:
-        return [task_fn(task) for task in tasks]
+        results = []
+        for index, task in enumerate(tasks):
+            value = task_fn(task)
+            if on_result is not None:
+                on_result(index, value)
+            results.append(value)
+        return results
     workers = min(jobs, len(tasks))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(task_fn, tasks, chunksize=chunksize))
+    if executor_mode() == "legacy":
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(task_fn, tasks, chunksize=chunksize))
+        if on_result is not None:
+            for index, value in enumerate(results):
+                on_result(index, value)
+        return results
+    return _run_supervised(task_fn, tasks, workers, effective_timeout,
+                           effective_retries, on_result)

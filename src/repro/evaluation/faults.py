@@ -1,0 +1,16 @@
+"""Fault injection under the evaluation namespace.
+
+The harness itself lives in :mod:`repro.faults` so the store can consult it
+without importing the evaluation layer; this module re-exports it where the
+executor documentation points operators.
+"""
+
+from ..faults import (CRASH_EXIT_CODE, DEFAULT_HANG_SECONDS, FAULT_KINDS,
+                      FaultInjected, FaultInjector, FaultRule,
+                      active_injector, parse_faults, reset_injector)
+
+__all__ = [
+    "CRASH_EXIT_CODE", "DEFAULT_HANG_SECONDS", "FAULT_KINDS",
+    "FaultInjected", "FaultInjector", "FaultRule",
+    "active_injector", "parse_faults", "reset_injector",
+]

@@ -29,11 +29,13 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from ..core.variant_cache import variant_key
 from ..opt.pass_manager import OptOptions
 from ..vm.batch import VMBatch
 from ..vm.machine import ExecutionResult
 from ..workloads.suites import WorkloadProgram
-from .executor import run_tasks, worker_cache
+from .checkpoint import ShardRunStats, run_checkpointed
+from .executor import worker_cache
 from .overhead import OverheadReport, OverheadRow, build_variant
 
 #: One unit of parallel work: a workload with its full label row.
@@ -109,7 +111,9 @@ def _overhead_shard(shard: OverheadShard) -> List[OverheadRow]:
 def measure_overhead_sharded(workloads: Sequence[WorkloadProgram],
                              labels: Sequence[str],
                              options: Optional[OptOptions] = None,
-                             jobs: Optional[int] = None) -> OverheadReport:
+                             jobs: Optional[int] = None,
+                             run_stats: Optional[ShardRunStats] = None
+                             ) -> OverheadReport:
     """The figure-6/7 matrix through the sharded scheduler.
 
     Fans one shard per workload across the process pool (``chunksize=1`` —
@@ -117,9 +121,18 @@ def measure_overhead_sharded(workloads: Sequence[WorkloadProgram],
     workload's builds across workers) and concatenates the per-shard rows in
     shard order.  Bit-identical to
     :func:`~repro.evaluation.overhead.measure_overhead` run serially.
+
+    With a shared store attached, every finished shard's row list is
+    journaled under its value-based key (kind ``"shard"``): an interrupted
+    run restarted over the same tree re-executes only unfinished workloads
+    (``run_stats`` reports the resume accounting).
     """
     shards = shard_overhead_matrix(workloads, labels, options)
+    keys = [("fig67shard", variant_key(workload, "baseline", options),
+             tuple(labels)) for workload in workloads]
     report = OverheadReport()
-    for rows in run_tasks(_overhead_shard, shards, jobs=jobs, chunksize=1):
+    for rows in run_checkpointed(_overhead_shard, shards, keys,
+                                 ("fig67", tuple(keys)), jobs=jobs,
+                                 chunksize=1, stats=run_stats):
         report.rows.extend(rows)
     return report

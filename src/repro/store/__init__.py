@@ -22,8 +22,9 @@ The subsystem has three pieces:
 variable doubles as a store-dir alias when it points at a store tree).
 """
 
-from .artifact_store import (KIND_BINARY, KIND_DIFF, KIND_FEATURES,
-                             KIND_VARIANT, OBJECTS_DIR, STORE_SCHEMA,
+from .artifact_store import (CORRUPT_READ_ERRORS, KIND_BINARY, KIND_DIFF,
+                             KIND_FEATURES, KIND_SHARD, KIND_VARIANT,
+                             OBJECTS_DIR, QUARANTINE_DIR, STORE_SCHEMA,
                              ArtifactStore, StoreError, canonical_key,
                              is_store_tree, store_digest, store_dir_from_env)
 from .diff_payloads import diff_pair_key
@@ -33,8 +34,9 @@ from .keys import KEY_SCHEMA, config_cache_key, variant_key
 
 __all__ = [
     "ArtifactStore", "StoreError", "GenerationLog", "GENERATION_LOG_NAME",
-    "KIND_VARIANT", "KIND_BINARY", "KIND_FEATURES", "KIND_DIFF",
-    "OBJECTS_DIR", "STORE_SCHEMA", "KEY_SCHEMA", "canonical_key",
+    "KIND_VARIANT", "KIND_BINARY", "KIND_FEATURES", "KIND_DIFF", "KIND_SHARD",
+    "OBJECTS_DIR", "QUARANTINE_DIR", "CORRUPT_READ_ERRORS",
+    "STORE_SCHEMA", "KEY_SCHEMA", "canonical_key",
     "store_digest", "is_store_tree", "store_dir_from_env", "config_cache_key",
     "variant_key", "diff_pair_key", "features_key", "persist_features",
     "warm_features",

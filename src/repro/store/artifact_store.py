@@ -33,11 +33,14 @@ from __future__ import annotations
 
 import enum
 import hashlib
+import json
 import os
 import pickle
+import time
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple, TypeVar
 
+from ..faults import active_injector
 from .generation_log import GenerationLog
 from .keys import KEY_SCHEMA as _KEY_SCHEMA
 
@@ -45,6 +48,8 @@ T = TypeVar("T")
 
 #: Bump when the object file layout or payload envelope changes incompatibly.
 #: 2: the ``diff`` kind landed (persisted per-function partial diff results).
+#: (The ``shard`` kind and the quarantine subtree are backward-compatible
+#: additions — old trees stay attachable, so no bump.)
 #: Attaching refuses a tree stamped with an older schema (StoreError; the
 #: executor then degrades to storeless builds) — delete or repoint
 #: ``REPRO_STORE_DIR`` to get a fresh tree; artifacts are deterministic, so
@@ -56,9 +61,25 @@ KIND_VARIANT = "variant"
 KIND_BINARY = "binary"
 KIND_FEATURES = "features"
 KIND_DIFF = "diff"
+#: Completed shard-unit results journaled by the checkpoint layer (PR 8):
+#: a resumed matrix run loads these instead of re-executing the shard.
+KIND_SHARD = "shard"
 
 #: Subdirectory holding the content-addressed object files.
 OBJECTS_DIR = "objects"
+
+#: Subdirectory corrupt objects are moved into (with a reason record) by the
+#: read path, so damage is preserved for diagnosis instead of silently
+#: re-missed — and so the next lookup rebuilds into a clean slot.
+QUARANTINE_DIR = "quarantine"
+
+#: The concrete exception classes a damaged object file can raise on read:
+#: I/O failures, torn/truncated pickles, and unpickling payloads whose
+#: classes moved or changed shape between pipeline versions.  Anything
+#: outside this tuple is a bug and propagates.
+CORRUPT_READ_ERRORS = (OSError, pickle.UnpicklingError, EOFError,
+                       ValueError, TypeError, AttributeError, ImportError,
+                       IndexError, KeyError)
 
 
 def canonical_key(key: object) -> str:
@@ -134,6 +155,13 @@ class ArtifactStore:
         self.disk_hits = 0
         self.misses = 0
         self.puts = 0
+        #: Corrupt object reads by cause — concrete exception class name
+        #: (``"UnpicklingError"``, ``"EOFError"``, ...) or
+        #: ``"envelope_mismatch"`` for files that unpickle but fail schema /
+        #: kind / key validation.
+        self.corrupt_reads: Dict[str, int] = {}
+        #: Corrupt objects successfully moved into ``quarantine/``.
+        self.quarantined = 0
         self._log: Optional[GenerationLog] = None
         if self.root is not None:
             self._attach_tree()
@@ -183,6 +211,12 @@ class ArtifactStore:
         if self.root is None:
             raise ValueError("in-memory store has no object paths")
         return os.path.join(self.root, OBJECTS_DIR, kind, digest[:2],
+                            f"{digest}.pkl")
+
+    def quarantine_path(self, kind: str, digest: str) -> str:
+        if self.root is None:
+            raise ValueError("in-memory store has no quarantine")
+        return os.path.join(self.root, QUARANTINE_DIR, kind,
                             f"{digest}.pkl")
 
     # -- the lookup protocol -----------------------------------------------------
@@ -309,6 +343,8 @@ class ArtifactStore:
         self.disk_hits = 0
         self.misses = 0
         self.puts = 0
+        self.corrupt_reads = {}
+        self.quarantined = 0
 
     # -- disk layer --------------------------------------------------------------
 
@@ -321,17 +357,52 @@ class ArtifactStore:
                 envelope = pickle.load(fh)
         except FileNotFoundError:
             return _MISSING
-        except Exception:
-            # truncated / corrupt / unpicklable object: builds are
-            # deterministic, so treating it as a miss only costs time
+        except CORRUPT_READ_ERRORS as error:
+            # a damaged object is *evidence*, not just a miss: move it to
+            # quarantine/ with the cause, count it, and let the caller
+            # rebuild into the now-clean slot (builds are deterministic)
+            self._quarantine(kind, digest, path,
+                             f"{type(error).__name__}: {error}",
+                             cause=type(error).__name__)
             return _MISSING
         if (not isinstance(envelope, dict)
                 or envelope.get("store_schema") != STORE_SCHEMA
                 or envelope.get("key_schema") != _KEY_SCHEMA
                 or envelope.get("kind") != kind
-                or envelope.get("key") != key):
+                or envelope.get("key") != key
+                or "payload" not in envelope):
+            self._quarantine(kind, digest, path,
+                             "envelope failed schema/kind/key validation",
+                             cause="envelope_mismatch")
             return _MISSING
         return envelope["payload"]
+
+    def _quarantine(self, kind: str, digest: str, path: str, reason: str,
+                    cause: str) -> None:
+        """Move a corrupt object aside with a reason record.
+
+        Best-effort: on a read-only tree (or when a racing reader already
+        moved the file) the read still degrades to a miss — but the
+        ``corrupt_reads`` counter always advances, so silent degradation is
+        impossible either way.
+        """
+        self.corrupt_reads[cause] = self.corrupt_reads.get(cause, 0) + 1
+        if self.root is None:
+            return
+        destination = self.quarantine_path(kind, digest)
+        record = {"kind": kind, "digest": digest, "reason": reason,
+                  "cause": cause, "pid": os.getpid(),
+                  "quarantined_at": time.time()}
+        try:
+            os.makedirs(os.path.dirname(destination), exist_ok=True)
+            os.replace(path, destination)
+            tmp = f"{destination}.reason.tmp.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(record, fh, sort_keys=True)
+            os.replace(tmp, f"{destination[:-len('.pkl')]}.reason.json")
+        except OSError:
+            return
+        self.quarantined += 1
 
     def _write_object(self, kind: str, digest: str, key: object,
                       payload: object, overwrite: bool = False) -> None:
@@ -345,11 +416,19 @@ class ArtifactStore:
         os.makedirs(os.path.dirname(path), exist_ok=True)
         tmp_path = f"{path}.tmp.{os.getpid()}"
         try:
+            data = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+            injector = active_injector()
+            if injector is not None:
+                # seeded chaos (REPRO_FAULTS store_corrupt): damage the bytes
+                # on their way to disk, at most once per object per process
+                data = injector.corrupt_payload(f"{kind}:{digest}", data)
             with open(tmp_path, "wb") as fh:
-                pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(data)
             os.replace(tmp_path, path)
-        except Exception:
-            # persistence is an optimisation; never fail the build for it
+        except (OSError, pickle.PicklingError, TypeError,
+                AttributeError):
+            # persistence is an optimisation; never fail the build for an
+            # unwritable tree or an unpicklable payload
             try:
                 os.unlink(tmp_path)
             except OSError:
@@ -385,6 +464,8 @@ class ArtifactStore:
             "misses": self.misses,
             "puts": self.puts,
             "hit_rate": round(self.hit_rate, 4),
+            "corrupt_reads": dict(self.corrupt_reads),
+            "quarantined": self.quarantined,
         }
 
 

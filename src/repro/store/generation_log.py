@@ -121,6 +121,11 @@ class GenerationLog:
         with open(tmp_path, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=1, sort_keys=True)
             fh.write("\n")
+            # the stamp gates warm attach for every future process: make the
+            # bytes durable *before* the rename publishes them, so a power
+            # loss cannot leave the rename without the data
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp_path, path)
 
     # -- validation --------------------------------------------------------------
@@ -145,6 +150,28 @@ class GenerationLog:
             os.write(fd, line.encode("utf-8"))
         finally:
             os.close(fd)
+
+    def rewrite_entries(self, root: str) -> None:
+        """Atomically replace the ledger with the in-memory entry map.
+
+        Used by ``scripts/fsck_store.py --repair`` after reconciling the
+        ledger against the object tree (dropping entries whose objects are
+        gone or quarantined, adding objects the ledger never heard of).
+        Single-writer only — concurrent appenders racing a rewrite can lose
+        their line, which the advisory ledger tolerates but a repair run
+        should not invite.
+        """
+        path = self.entries_path_for(root)
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        with open(tmp_path, "w", encoding="utf-8") as fh:
+            for digest in sorted(self.entries):
+                entry = self.entries[digest]
+                fh.write(json.dumps(
+                    {"digest": digest, "kind": entry.get("kind"),
+                     "note": entry.get("note", "")}, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
 
     def count(self, kind: Optional[str] = None) -> int:
         if kind is None:

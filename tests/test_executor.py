@@ -3,16 +3,26 @@
 The (program × label × tool) matrices of figures 8, 9 and 10 are pure
 functions of seeded inputs; fanning them across processes must reproduce the
 serial reports exactly (same rows, same order, same floats).  Also covers
-``resolve_jobs`` / ``REPRO_JOBS`` resolution and the reworked
-``escape_ratio`` signature.
+``resolve_jobs`` / ``REPRO_JOBS`` resolution, the supervised scheduler's
+failure modes (crashed workers, exhausted retries, timeouts, legacy mode),
+the worker-cache degradation counters and the reworked ``escape_ratio``
+signature.
 """
+
+import logging
+import os
+import time
 
 import pytest
 
 from repro.diffing import Asm2Vec, BinDiff, escape_ratio
 from repro.evaluation import (figure9, measure_escape, measure_precision,
                               resolve_jobs, run_tasks)
-from repro.evaluation.executor import reset_worker_cache, worker_cache
+from repro.evaluation.executor import (ExecutorTaskError, executor_mode,
+                                       reset_worker_cache,
+                                       resolve_task_retries,
+                                       resolve_task_timeout, worker_cache,
+                                       worker_cache_events)
 from repro.workloads.suites import embedded_programs, spec2006_programs
 
 WORKLOADS = spec2006_programs()[:2]
@@ -86,6 +96,189 @@ class TestRunTasks:
 
 def _square(value):
     return value * value
+
+
+def _crash_once_then_square(value):
+    """Hard-exits the worker the first time it sees value 3 (marker-gated)."""
+    marker = os.environ["REPRO_TEST_CRASH_MARKER"]
+    if value == 3 and not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(1)
+    return value * value
+
+
+def _raise_on_two(value):
+    if value == 2:
+        raise ValueError(f"synthetic failure for {value}")
+    return value
+
+
+def _hang_once_then_negate(value):
+    """Sleeps far past the test timeout the first time it sees value 1."""
+    marker = os.environ["REPRO_TEST_HANG_MARKER"]
+    if value == 1 and not os.path.exists(marker):
+        open(marker, "w").close()
+        time.sleep(60)
+    return -value
+
+
+class TestSupervisorKnobs:
+    def test_timeout_default_is_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TASK_TIMEOUT", raising=False)
+        assert resolve_task_timeout() is None
+
+    def test_timeout_env_and_zero_disable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "2.5")
+        assert resolve_task_timeout() == 2.5
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "0")
+        assert resolve_task_timeout() is None
+
+    def test_timeout_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "soon")
+        with pytest.raises(ValueError, match="REPRO_TASK_TIMEOUT"):
+            resolve_task_timeout()
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "-1")
+        with pytest.raises(ValueError, match="REPRO_TASK_TIMEOUT"):
+            resolve_task_timeout()
+        with pytest.raises(ValueError, match="timeout"):
+            resolve_task_timeout(0)
+
+    def test_retries_default_env_and_validation(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TASK_RETRIES", raising=False)
+        assert resolve_task_retries() == 2
+        assert resolve_task_retries(0) == 0
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "5")
+        assert resolve_task_retries() == 5
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "-1")
+        with pytest.raises(ValueError, match="REPRO_TASK_RETRIES"):
+            resolve_task_retries()
+        with pytest.raises(ValueError, match="retries"):
+            resolve_task_retries(2.5)
+
+    def test_executor_mode(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        assert executor_mode() == "supervised"
+        monkeypatch.setenv("REPRO_EXECUTOR", "legacy")
+        assert executor_mode() == "legacy"
+        monkeypatch.setenv("REPRO_EXECUTOR", "turbo")
+        with pytest.raises(ValueError, match="REPRO_EXECUTOR"):
+            executor_mode()
+
+
+class TestSupervisedFailureModes:
+    """The failure modes the supervised scheduler exists for."""
+
+    @pytest.fixture(autouse=True)
+    def _fast_backoff(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_BACKOFF", "0.01")
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+
+    def test_broken_pool_mid_matrix_recovers(self, tmp_path, monkeypatch):
+        """A worker hard-exit (BrokenProcessPool) respawns the pool and the
+        run still returns every result in submission order."""
+        monkeypatch.setenv("REPRO_TEST_CRASH_MARKER",
+                           str(tmp_path / "crashed"))
+        values = list(range(6))
+        results = run_tasks(_crash_once_then_square, values, jobs=2,
+                            retries=2)
+        assert results == [v * v for v in values]
+        assert (tmp_path / "crashed").exists()  # the crash really happened
+
+    def test_task_failing_every_retry_surfaces_identity(self):
+        """A task that raises on every attempt aborts the run cleanly with
+        an error naming the task and its attempt count."""
+        with pytest.raises(ExecutorTaskError) as excinfo:
+            run_tasks(_raise_on_two, list(range(4)), jobs=2, retries=1)
+        error = excinfo.value
+        assert error.index == 2
+        assert error.attempts == 2  # 1 try + 1 retry
+        assert "synthetic failure for 2" in str(error)
+        assert "[task: 2]" in str(error)
+
+    def test_timeout_retry_succeeds_on_second_attempt(self, tmp_path,
+                                                      monkeypatch):
+        """A hung worker is killed at the timeout and the retry completes."""
+        monkeypatch.setenv("REPRO_TEST_HANG_MARKER", str(tmp_path / "hung"))
+        start = time.monotonic()
+        results = run_tasks(_hang_once_then_negate, [0, 1, 2], jobs=2,
+                            timeout=1.0, retries=2)
+        elapsed = time.monotonic() - start
+        assert results == [0, -1, -2]
+        assert (tmp_path / "hung").exists()
+        assert elapsed < 30  # killed at ~1s, nowhere near the 60s sleep
+
+    def test_legacy_mode_is_selectable_and_identical(self, monkeypatch):
+        values = list(range(8))
+        supervised = run_tasks(_square, values, jobs=2)
+        monkeypatch.setenv("REPRO_EXECUTOR", "legacy")
+        legacy = run_tasks(_square, values, jobs=2)
+        assert supervised == legacy == [v * v for v in values]
+
+    def test_on_result_fires_for_every_task(self):
+        seen_serial = []
+        run_tasks(_square, [1, 2, 3], jobs=1,
+                  on_result=lambda i, r: seen_serial.append((i, r)))
+        assert seen_serial == [(0, 1), (1, 4), (2, 9)]
+        seen_parallel = []
+        run_tasks(_square, [1, 2, 3, 4], jobs=2,
+                  on_result=lambda i, r: seen_parallel.append((i, r)))
+        assert sorted(seen_parallel) == [(0, 1), (1, 4), (2, 9), (3, 16)]
+
+
+class TestWorkerCacheDegradationCounters:
+    """Best-effort cache startup must warn + count, never die silently."""
+
+    def test_corrupt_legacy_preload_warns_and_counts(self, tmp_path,
+                                                     monkeypatch, caplog):
+        from repro.core.variant_cache import cache_file_path
+        directory = str(tmp_path / "legacy")
+        os.makedirs(directory)
+        with open(cache_file_path(directory), "wb") as fh:
+            fh.write(b"not a pickle at all")
+        monkeypatch.setenv("REPRO_VARIANT_CACHE_DIR", directory)
+        monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+        reset_worker_cache()
+        try:
+            with caplog.at_level(logging.WARNING,
+                                 logger="repro.evaluation.executor"):
+                cache = worker_cache()
+            assert cache is not None  # degraded to a cold start, not dead
+            events = worker_cache_events()
+            assert events["preload_failures"] == 1
+            assert any("preload" in record.message
+                       for record in caplog.records)
+        finally:
+            reset_worker_cache()
+
+    def test_unusable_store_tree_warns_and_counts(self, tmp_path,
+                                                  monkeypatch, caplog):
+        import json
+        root = str(tmp_path / "badstore")
+        os.makedirs(os.path.join(root, "objects"))
+        with open(os.path.join(root, "generation.json"), "w") as fh:
+            json.dump({"store_schema": 1, "key_schema": 1, "generation": 1},
+                      fh)
+        monkeypatch.setenv("REPRO_STORE_DIR", root)
+        monkeypatch.delenv("REPRO_VARIANT_CACHE_DIR", raising=False)
+        reset_worker_cache()
+        try:
+            with caplog.at_level(logging.WARNING,
+                                 logger="repro.evaluation.executor"):
+                cache = worker_cache()
+            from repro.evaluation.executor import rooted_store
+            assert rooted_store(cache) is None  # storeless degradation
+            events = worker_cache_events()
+            assert events["store_attach_failures"] == 1
+            assert any("attach" in record.message
+                       for record in caplog.records)
+        finally:
+            reset_worker_cache()
+
+    def test_counters_start_at_zero(self):
+        reset_worker_cache()
+        assert worker_cache_events() == {"preload_failures": 0,
+                                         "store_attach_failures": 0}
 
 
 class TestParallelExperimentsBitIdentical:
