@@ -63,7 +63,16 @@ can diff the perf trajectory.  Tracked metrics:
   (``REPRO_EXECUTOR=legacy``), checkpointing disabled so neither arm
   resume-short-circuits; both row sets asserted identical to the serial
   reference (acceptance: supervised within 5% of legacy — informational
-  here, timing assertions stay out of --smoke).
+  here, timing assertions stay out of --smoke);
+* **telemetry_overhead** — what :mod:`repro.obs` costs: VM steady-state
+  steps/s with tracing enabled vs disabled, and the warm fig8
+  function-sharded matrix at ``jobs=2`` (checkpointing off, like
+  ``fault_overhead``) with ``REPRO_TRACE=1`` vs unset — the traced arm
+  pays span recording, per-task flushes and the run-exit merge, and must
+  stay row-identical to the untraced arm and the serial reference
+  (acceptance: ≤2% disabled-mode overhead — informational here); the
+  traced run's merged telemetry is folded back in as a per-phase
+  self-time summary (``scripts/trace_report.py`` is the interactive view).
 
 Set ``REPRO_VARIANT_CACHE_DIR`` to also exercise the legacy disk-persisted
 variant cache (save → reload round trip; adds a ``disk_cache`` section).
@@ -110,7 +119,7 @@ REQUIRED_KEYS = ("schema", "config", "vm", "vm_superblock",
                  "fig6_measure_loop", "fig6_end_to_end", "pipeline",
                  "variant_cache", "fig8_diff_phase", "fig67_sharded",
                  "fig8_function_sharded", "fault_overhead",
-                 "verify_overhead")
+                 "verify_overhead", "telemetry_overhead")
 
 
 def best_of(fn: Callable[[], object], reps: int) -> float:
@@ -664,6 +673,169 @@ def bench_fault_overhead(programs, reps: int) -> Dict[str, object]:
     }
 
 
+def bench_telemetry_overhead(programs, reps: int) -> Dict[str, object]:
+    """What the telemetry layer costs, on and off.
+
+    Two arms.  **vm_steady**: steps/s of warmed interpreters with span
+    tracing enabled vs disabled — the registry façades are always on, so
+    the delta isolates the tracing flag checks and buffer appends.
+    **fig8_jobs2**: the warm fig8 function-sharded matrix at ``jobs=2``
+    over one store tree (checkpointing off, exactly like
+    ``fault_overhead``), with ``REPRO_TRACE=1`` vs unset: the traced arm
+    additionally pays per-task worker flushes and the run-exit
+    merge/export, and both arms must stay row-identical to the serial
+    reference.  The traced run's merged telemetry is summarised back into
+    the results as per-phase self-time shares plus the attribution
+    coverage (the fig8 acceptance wants ≥95% of busy time in named
+    phases).
+    """
+    from repro.evaluation.diff_sharding import measure_precision_sharded
+    from repro.evaluation.executor import reset_worker_cache
+    from repro.obs import tracing
+
+    labels = MEASURE_LABELS
+    reference = measure_precision(programs, labels=labels, jobs=1)
+
+    # -- arm 1: VM steady state, tracing flag on vs off -------------------
+    built = [wp.build() for wp in programs]
+    steps = sum(run_program(p).steps for p in built)
+    warm_sets = tuple(() for _ in range(8))
+    timed_sets = tuple(() for _ in range(8))
+
+    def steady(trace_on: bool) -> float:
+        tracing.set_enabled(trace_on)
+        try:
+            interpreters = [Interpreter(program) for program in built]
+            for interpreter in interpreters:
+                interpreter.run_many(warm_sets)
+            return best_of(
+                lambda: [vm.run_many(timed_sets) for vm in interpreters],
+                reps)
+        finally:
+            tracing.refresh()
+            tracing.drain()
+
+    vm_off_s = steady(False)
+    vm_on_s = steady(True)
+
+    # -- arm 2: warm fig8 jobs=2, REPRO_TRACE=1 vs unset ------------------
+    base_dir = os.environ.get("REPRO_STORE_DIR")
+    if base_dir:
+        os.makedirs(base_dir, exist_ok=True)
+        store_root = tempfile.mkdtemp(prefix="telemetry-", dir=base_dir)
+        cleanup_dir = None
+    else:
+        cleanup_dir = tempfile.TemporaryDirectory(prefix="telemetry-store-")
+        store_root = cleanup_dir.name
+    saved = {name: os.environ.get(name)
+             for name in ("REPRO_STORE_DIR", "REPRO_CHECKPOINT",
+                          "REPRO_TRACE", "REPRO_FAULTS")}
+    os.environ["REPRO_STORE_DIR"] = store_root
+    os.environ["REPRO_CHECKPOINT"] = "off"
+    os.environ.pop("REPRO_FAULTS", None)
+    os.environ.pop("REPRO_TRACE", None)
+    tracing.refresh()
+    try:
+        # warm the tree once so both arms time scheduling + store reads
+        reset_worker_cache()
+        measure_precision_sharded(programs, labels=labels, jobs=1)
+
+        def timed(trace_on: bool):
+            if trace_on:
+                os.environ["REPRO_TRACE"] = "1"
+            else:
+                os.environ.pop("REPRO_TRACE", None)
+            tracing.refresh()
+            reset_worker_cache()
+            gc.collect()
+            start = time.perf_counter()
+            report = measure_precision_sharded(programs, labels=labels,
+                                               jobs=2)
+            return report, time.perf_counter() - start
+
+        off_report, off_s = timed(False)
+        on_report, on_s = timed(True)
+        for _ in range(max(0, reps - 1)):
+            off_s = min(off_s, timed(False)[1])
+            on_s = min(on_s, timed(True)[1])
+        trace_summary = _fold_trace_summary(store_root)
+    finally:
+        reset_worker_cache()
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        tracing.refresh()
+        tracing.drain()
+        if cleanup_dir is not None:
+            cleanup_dir.cleanup()
+
+    return {
+        "programs": [wp.name for wp in programs],
+        "labels": list(labels),
+        "rows": len(reference.rows),
+        "vm_steady": {
+            "steps": steps,
+            "off_s": round(vm_off_s, 4),
+            "on_s": round(vm_on_s, 4),
+            "steps_per_sec_off": int(steps * len(timed_sets) / vm_off_s),
+            "steps_per_sec_on": int(steps * len(timed_sets) / vm_on_s),
+            "overhead_pct": (round((vm_on_s - vm_off_s) / vm_off_s * 100, 2)
+                             if vm_off_s else None),
+        },
+        "fig8_jobs2": {
+            "off_s": round(off_s, 4),
+            "on_s": round(on_s, 4),
+            "overhead_pct": (round((on_s - off_s) / off_s * 100, 2)
+                             if off_s else None),
+        },
+        "trace": trace_summary,
+        "identical": {
+            "untraced": off_report.rows == reference.rows,
+            "traced": on_report.rows == reference.rows,
+        },
+    }
+
+
+def _fold_trace_summary(store_root: str) -> Dict[str, object]:
+    """The traced arm's per-phase summary, via ``trace_report.py --json``."""
+    import subprocess
+
+    telemetry = os.path.join(store_root, "telemetry")
+    try:
+        runs = [os.path.join(telemetry, name)
+                for name in os.listdir(telemetry)]
+    except OSError:
+        return {"valid": False, "error": "no telemetry directory"}
+    runs = [run for run in runs if os.path.isdir(run)]
+    if not runs:
+        return {"valid": False, "error": "no telemetry run"}
+    run_dir = max(runs, key=os.path.getmtime)
+    script = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "..", "..", "scripts", "trace_report.py")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(os.path.dirname(os.path.abspath(
+        __file__)), "..", "..", "src")
+    result = subprocess.run(
+        [sys.executable, script, "--validate", "--json", run_dir],
+        capture_output=True, text=True, env=env)
+    if result.returncode != 0:
+        return {"valid": False, "error": result.stderr.strip()[:500]}
+    try:
+        report = json.loads(result.stdout[result.stdout.index("{"):])
+    except ValueError:
+        return {"valid": False, "error": "unparsable trace_report output"}
+    return {
+        "valid": True,
+        "wall_seconds": report.get("wall_seconds"),
+        "busy_seconds": report.get("busy_seconds"),
+        "coverage": report.get("coverage"),
+        "phases": report.get("phases"),
+        "processes": len(report.get("processes", [])),
+    }
+
+
 def bench_verify_overhead(programs, reps: int) -> Dict[str, object]:
     """Full-tier IR verification overhead on the fig6 variant set.
 
@@ -821,6 +993,19 @@ def check_results(results: Dict[str, object]) -> List[str]:
     if overhead and overhead.get("errors", -1) != 0:
         problems.append("full-tier verification found errors on the fig6 "
                         "variant set")
+    telemetry = results.get("telemetry_overhead", {})
+    if telemetry:
+        for name in ("untraced", "traced"):
+            if not telemetry.get("identical", {}).get(name, False):
+                problems.append(f"telemetry_overhead {name} run diverged "
+                                f"from the serial reference")
+        trace = telemetry.get("trace", {})
+        if not trace.get("valid", False):
+            problems.append("traced run produced no valid merged trace")
+        elif (trace.get("coverage") or 0) < 0.95:
+            problems.append(f"trace attributed only "
+                            f"{trace.get('coverage')} of busy time to "
+                            f"named phases (want >= 0.95)")
     if os.environ.get("REPRO_VARIANT_CACHE_DIR"):
         disk = results.get("disk_cache")
         if not disk:
@@ -858,7 +1043,7 @@ def main(argv=None) -> int:
         batch = 32
 
     results = {
-        "schema": 8,
+        "schema": 9,
         "config": {"quick": bool(args.quick or args.smoke), "reps": reps,
                    "batch": batch,
                    "python": sys.version.split()[0],
@@ -884,6 +1069,8 @@ def main(argv=None) -> int:
                                                max(1, reps // 2)),
         "verify_overhead": bench_verify_overhead(loop_programs,
                                                  max(1, reps // 2)),
+        "telemetry_overhead": bench_telemetry_overhead(loop_programs,
+                                                       max(1, reps // 2)),
     }
     if os.environ.get("REPRO_VARIANT_CACHE_DIR"):
         results["disk_cache"] = bench_disk_cache(loop_programs)
@@ -938,6 +1125,13 @@ def main(argv=None) -> int:
           f"{vo['warm_full_s']}s ({vo['warm_speedup']}x; structural "
           f"{vo['structural_s']}s); warm = {vo['warm_vs_build_pct']}% of "
           f"the {vo['build_s']}s build phase")
+    to = results["telemetry_overhead"]
+    print(f"telemetry:         vm steady {to['vm_steady']['overhead_pct']}% "
+          f"({to['vm_steady']['steps_per_sec_on']:,} steps/s traced); fig8 "
+          f"jobs=2 {to['fig8_jobs2']['overhead_pct']}% "
+          f"(off {to['fig8_jobs2']['off_s']}s -> on "
+          f"{to['fig8_jobs2']['on_s']}s); trace coverage "
+          f"{to['trace'].get('coverage')}, identical={to['identical']}")
     if "disk_cache" in results:
         dc = results["disk_cache"]
         print(f"disk cache:        {dc['saved_entries']} entries -> "

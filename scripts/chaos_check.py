@@ -21,23 +21,62 @@ Finally ``fsck_store.py --repair`` must leave the tree clean (exit 0) —
 corrupt objects the run never re-read get quarantined offline, and the
 ledger/journals reconcile.
 
+``--json`` emits a machine-readable report on stdout (the human narration
+moves to stderr): per-phase wall times and row counts, the supervision /
+fault / quarantine counters from the run's merged telemetry
+(``REPRO_TRACE`` is forced on so the counters exist), and the telemetry
+run directory for ``trace_report.py``.
+
 Exit status 0 only if every phase holds.  Runs in minutes on two
 workloads × two labels × two tools; scale with the flags.
 
 Usage:
     PYTHONPATH=src python scripts/chaos_check.py
     PYTHONPATH=src python scripts/chaos_check.py --workloads 3 --jobs 4
+    PYTHONPATH=src python scripts/chaos_check.py --json > chaos.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import shutil
 import subprocess
 import sys
 import tempfile
-from typing import List, Optional
+import time
+from typing import Any, Dict, List, Optional
+
+#: Telemetry counter prefixes worth surfacing in the ``--json`` report.
+COUNTER_PREFIXES = ("executor.", "faults.", "checkpoint.",
+                    "store.corrupt_reads", "store.quarantined")
+
+
+def _latest_run_dir(tree: str) -> Optional[str]:
+    telemetry = os.path.join(tree, "telemetry")
+    try:
+        runs = [os.path.join(telemetry, name)
+                for name in os.listdir(telemetry)]
+    except OSError:
+        return None
+    runs = [run for run in runs if os.path.isdir(run)]
+    return max(runs, key=os.path.getmtime) if runs else None
+
+
+def _merged_counters(tree: str) -> Dict[str, Any]:
+    run_dir = _latest_run_dir(tree)
+    if run_dir is None:
+        return {}
+    try:
+        with open(os.path.join(run_dir, "metrics.json"),
+                  encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        return {}
+    counters = (payload.get("merged") or {}).get("counters") or {}
+    return {name: value for name, value in sorted(counters.items())
+            if name.startswith(COUNTER_PREFIXES)}
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -56,7 +95,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "headroom over the nominal crash count")
     parser.add_argument("--keep-tree", action="store_true",
                         help="print and keep the store tree for inspection")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="structured report on stdout, narration on "
+                             "stderr; forces REPRO_TRACE=1")
     args = parser.parse_args(argv)
+
+    out = sys.stderr if args.as_json else sys.stdout
+
+    def say(text: str) -> None:
+        print(text, file=out)
 
     # chaos knobs must be in the environment before any worker spawns;
     # the reference run below explicitly clears them for itself
@@ -70,6 +117,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     os.environ.pop("REPRO_STORE_DIR", None)
     os.environ.pop("REPRO_VARIANT_CACHE_DIR", None)
     os.environ.pop("REPRO_FAULTS", None)
+    if args.as_json:
+        # the structured report reads retry/quarantine/fault counters out
+        # of the run's merged telemetry, so the run must produce one
+        os.environ["REPRO_TRACE"] = "1"
 
     from repro.diffing import all_differs
     from repro.evaluation import measure_precision
@@ -78,7 +129,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                                                 measure_precision_sharded)
     from repro.evaluation.executor import reset_worker_cache
     from repro.faults import reset_injector
+    from repro.obs import tracing
     from repro.workloads.suites import spec2006_programs
+
+    if args.as_json:
+        tracing.refresh()
 
     workloads = spec2006_programs()[:args.workloads]
     labels = tuple(label.strip() for label in args.labels.split(",")
@@ -89,14 +144,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         return [(r.program, r.suite, r.tool, r.label, r.precision,
                  r.similarity_score) for r in report.rows]
 
-    print(f"chaos_check: {len(workloads)} workloads x {labels} x "
-          f"{[d.name for d in differs]}, jobs={args.jobs}, "
-          f"faults={args.faults!r}")
+    say(f"chaos_check: {len(workloads)} workloads x {labels} x "
+        f"{[d.name for d in differs]}, jobs={args.jobs}, "
+        f"faults={args.faults!r}")
+
+    phases: Dict[str, Dict[str, Any]] = {}
+    telemetry: Dict[str, Any] = {}
 
     # 1. fault-free serial reference (no store, no executor involvement)
     reset_worker_cache()
+    started = time.monotonic()
     reference = rows(measure_precision(workloads, labels, differs))
-    print(f"  reference: {len(reference)} rows")
+    phases["reference"] = {"seconds": time.monotonic() - started,
+                           "rows": len(reference), "ok": True}
+    say(f"  reference: {len(reference)} rows")
 
     tree = tempfile.mkdtemp(prefix="chaos-store-")
     failures = 0
@@ -108,15 +169,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         reset_injector()
         stats = DiffShardStats()
         chaos_run = ShardRunStats()
+        started = time.monotonic()
         chaos = rows(measure_precision_sharded(
             workloads, labels, differs, jobs=args.jobs, stats=stats,
             run_stats=chaos_run))
-        if chaos == reference:
-            print(f"  chaos run: bit-identical "
-                  f"({chaos_run.executed} shards executed, "
-                  f"{stats.units_scored} units scored)")
+        identical = chaos == reference
+        phases["chaos"] = {"seconds": time.monotonic() - started,
+                           "rows": len(chaos), "ok": identical,
+                           "shards_executed": chaos_run.executed,
+                           "units_scored": stats.units_scored}
+        telemetry["chaos_counters"] = _merged_counters(tree)
+        if identical:
+            say(f"  chaos run: bit-identical "
+                f"({chaos_run.executed} shards executed, "
+                f"{stats.units_scored} units scored)")
         else:
-            print("  chaos run: REPORT DIVERGED FROM SERIAL REFERENCE")
+            say("  chaos run: REPORT DIVERGED FROM SERIAL REFERENCE")
             failures += 1
 
         # 3. resume over the same tree, faults off: every journaled unit is
@@ -129,45 +197,69 @@ def main(argv: Optional[List[str]] = None) -> int:
         reset_injector()
         resumed_stats = DiffShardStats()
         resume_run = ShardRunStats()
+        started = time.monotonic()
         resumed = rows(measure_precision_sharded(
             workloads, labels, differs, jobs=args.jobs, stats=resumed_stats,
             run_stats=resume_run))
         ok = (resumed == reference and resumed_stats.units_scored == 0)
+        phases["resume"] = {"seconds": time.monotonic() - started,
+                            "rows": len(resumed), "ok": ok,
+                            "shards_resumed": resume_run.resumed,
+                            "shards_planned": resume_run.planned,
+                            "shards_executed": resume_run.executed,
+                            "units_scored": resumed_stats.units_scored}
         if ok:
-            print(f"  resume: {resume_run.resumed}/{resume_run.planned} "
-                  f"shards revived from the journal "
-                  f"({resume_run.executed} re-read from store), "
-                  f"zero units re-scored")
+            say(f"  resume: {resume_run.resumed}/{resume_run.planned} "
+                f"shards revived from the journal "
+                f"({resume_run.executed} re-read from store), "
+                f"zero units re-scored")
         else:
-            print(f"  resume: FAILED (executed={resume_run.executed}, "
-                  f"resumed={resume_run.resumed}/{resume_run.planned}, "
-                  f"units_scored={resumed_stats.units_scored}, "
-                  f"identical={resumed == reference})")
+            say(f"  resume: FAILED (executed={resume_run.executed}, "
+                f"resumed={resume_run.resumed}/{resume_run.planned}, "
+                f"units_scored={resumed_stats.units_scored}, "
+                f"identical={resumed == reference})")
             failures += 1
 
         # 4. the tree must fsck clean after repairs
         script = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                               "fsck_store.py")
+        started = time.monotonic()
         result = subprocess.run([sys.executable, script, "--repair", tree],
                                 env=dict(os.environ), capture_output=True,
                                 text=True)
-        sys.stdout.write(result.stdout)
+        phases["fsck"] = {"seconds": time.monotonic() - started,
+                          "ok": result.returncode == 0}
+        out.write(result.stdout)
         if result.returncode != 0:
             sys.stderr.write(result.stderr)
-            print("  fsck: FAILED")
+            say("  fsck: FAILED")
             failures += 1
         else:
-            print("  fsck: clean")
+            say("  fsck: clean")
+
+        telemetry["counters"] = _merged_counters(tree)
+        telemetry["run_dir"] = _latest_run_dir(tree)
     finally:
         os.environ.pop("REPRO_STORE_DIR", None)
         os.environ.pop("REPRO_FAULTS", None)
         if args.keep_tree:
-            print(f"  store tree kept at {tree}")
+            say(f"  store tree kept at {tree}")
         else:
             shutil.rmtree(tree, ignore_errors=True)
+            telemetry.pop("run_dir", None)
 
-    print("chaos_check: OK" if not failures
-          else f"chaos_check: {failures} phase(s) FAILED")
+    say("chaos_check: OK" if not failures
+        else f"chaos_check: {failures} phase(s) FAILED")
+    if args.as_json:
+        json.dump({"schema": 1, "ok": not failures, "failures": failures,
+                   "config": {"workloads": len(workloads),
+                              "labels": list(labels),
+                              "tools": [d.name for d in differs],
+                              "jobs": args.jobs, "faults": args.faults,
+                              "retries": args.retries},
+                   "phases": phases, "telemetry": telemetry},
+                  sys.stdout, indent=2, sort_keys=True)
+        print()
     return 1 if failures else 0
 
 

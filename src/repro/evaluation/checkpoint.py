@@ -45,6 +45,9 @@ import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, TypeVar
 
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
+from ..obs.collect import open_run
 from ..store.artifact_store import (KIND_SHARD, ArtifactStore, StoreError,
                                     store_digest, store_dir_from_env)
 from .executor import run_tasks
@@ -174,6 +177,20 @@ def run_checkpointed(task_fn: Callable[[Task], Result], tasks: Sequence[Task],
         raise ValueError(
             f"run_checkpointed: {len(tasks)} tasks but {len(keys)} keys")
     root = store_dir_from_env()
+    identity = run_id(run_parts)
+    # the telemetry run wraps even the checkpoint-off paths: the bench's
+    # REPRO_CHECKPOINT=off arms still produce a merged trace.  open_run is
+    # a no-op without a store tree or with telemetry disabled, and nested
+    # opens defer to the outermost run.
+    with open_run(root, identity):
+        with obs_tracing.span("run", cat="coordinate", run_id=identity,
+                              tasks=len(tasks)):
+            return _run_checkpointed(task_fn, tasks, keys, identity, root,
+                                     jobs, chunksize, normalize, stats)
+
+
+def _run_checkpointed(task_fn, tasks, keys, identity, root, jobs, chunksize,
+                      normalize, stats) -> List[Result]:
     if root is None or not checkpoint_enabled():
         return run_tasks(task_fn, tasks, jobs=jobs, chunksize=chunksize)
     try:
@@ -182,9 +199,10 @@ def run_checkpointed(task_fn: Callable[[Task], Result], tasks: Sequence[Task],
         # an unusable tree degrades to a plain (un-resumable) run, same as
         # the worker cache's storeless degradation
         return run_tasks(task_fn, tasks, jobs=jobs, chunksize=chunksize)
-    manifest = RunManifest(root, run_id(run_parts))
+    manifest = RunManifest(root, identity)
     if stats is not None:
         stats.planned = len(tasks)
+    obs_metrics.counter("checkpoint.planned", len(tasks))
 
     results: List[object] = [_ABSENT] * len(tasks)
     digests = [store_digest(KIND_SHARD, key) for key in keys]
@@ -196,9 +214,15 @@ def run_checkpointed(task_fn: Callable[[Task], Result], tasks: Sequence[Task],
                 results[index] = normalize(payload) if normalize else payload
                 if stats is not None:
                     stats.resumed += 1
+                obs_metrics.counter("checkpoint.resumed")
                 continue
             # journaled but lost/quarantined: the store is the truth
         pending.append(index)
+    if len(pending) < len(tasks):
+        obs_tracing.event("checkpoint.resume", cat="coordinate",
+                          run_id=identity,
+                          resumed=len(tasks) - len(pending),
+                          pending=len(pending))
 
     if pending:
         def journal(position: int, value: Result) -> None:
@@ -206,11 +230,15 @@ def run_checkpointed(task_fn: Callable[[Task], Result], tasks: Sequence[Task],
             results[index] = value
             store.put(KIND_SHARD, keys[index], value)
             manifest.mark_done(digests[index])
+            obs_metrics.counter("checkpoint.journaled")
+            obs_tracing.event("checkpoint.journal", cat="coordinate",
+                              shard=digests[index][:12])
             if stats is not None:
                 stats.journaled += 1
 
         run_tasks(task_fn, [tasks[index] for index in pending], jobs=jobs,
                   chunksize=chunksize, on_result=journal)
+        obs_metrics.counter("checkpoint.executed", len(pending))
         if stats is not None:
             stats.executed += len(pending)
     return results  # type: ignore[return-value]

@@ -49,6 +49,7 @@ from ..core.variant_cache import variant_key
 from ..diffing import all_differs, rank_of_correct
 from ..diffing.base import BinaryDiffer, DiffResult, PartialDiff
 from ..diffing.bindiff import BinDiff
+from ..obs import tracing as obs_tracing
 from ..opt.pass_manager import OptOptions
 from ..opt.pipelines import optimize_program
 from ..store.artifact_store import store_dir_from_env
@@ -165,6 +166,14 @@ class DiffShardStats:
 
 def _diff_shard(shard: DiffShard) -> DiffShardResult:
     """Executor entry point: score (or adopt) one shard's pair set."""
+    workload, label, differ, _options, index, count = shard
+    with obs_tracing.span("shard.diff", cat="diff", workload=workload.name,
+                          label=label, tool=differ.info.name, slice=index,
+                          count=count):
+        return _diff_shard_impl(shard)
+
+
+def _diff_shard_impl(shard: DiffShard) -> DiffShardResult:
     workload, label, differ, options, index, count = shard
     cache = worker_cache()
     store = rooted_store(cache)
@@ -461,6 +470,14 @@ def _bintuner_shard(shard: BinTunerShard) -> Tuple[List[float], Optional[float]]
     Returns the four similarity scores in :data:`OPT_LEVELS` order plus, for
     the ``bintuner`` shard, the runtime-overhead factor.
     """
+    workload, protection, tuner_iterations = shard
+    with obs_tracing.span("shard.fig9", cat="diff", workload=workload.name,
+                          protection=protection):
+        return _bintuner_shard_impl(shard)
+
+
+def _bintuner_shard_impl(shard: BinTunerShard
+                         ) -> Tuple[List[float], Optional[float]]:
     workload, protection, tuner_iterations = shard
     cache = worker_cache()
     differ = BinDiff()

@@ -59,6 +59,9 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple, TypeVar
 
 from ..core.variant_cache import VariantCache, cache_file_path
 from ..faults import active_injector
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
+from ..obs.collect import flush as flush_telemetry
 from ..store.artifact_store import (ArtifactStore, StoreError,
                                     store_dir_from_env)
 
@@ -240,8 +243,9 @@ _WORKER_CACHE: Optional[VariantCache] = None
 #: deterministic) but must be *visible*, not silent — a worker that starts
 #: cold because the seed was corrupt looks identical to one that starts
 #: cold because there was no seed, unless these counters say otherwise.
-_CACHE_EVENTS: Dict[str, int] = {"preload_failures": 0,
-                                 "store_attach_failures": 0}
+#: Since the telemetry PR they live in the process-global metrics registry
+#: under this prefix; :func:`worker_cache_events` is a façade over it.
+_CACHE_EVENTS_PREFIX = "executor.cache"
 
 #: Default LRU bound of each worker's in-memory layer.  Shards keep a small
 #: working set (one workload's baseline + variants at a time); an unbounded
@@ -287,8 +291,14 @@ def worker_cache_events() -> Dict[str, int]:
     be imported; ``store_attach_failures`` — shared store trees that could
     not be attached.  Both also emit one ``WARNING`` log line with the
     cause, so an operator can tell a corrupt seed file from a cold start.
+    (A façade over the :mod:`repro.obs` metrics registry; the dict shape
+    predates it.)
     """
-    return dict(_CACHE_EVENTS)
+    registry = obs_metrics.REGISTRY
+    return {"preload_failures":
+            int(registry.get(f"{_CACHE_EVENTS_PREFIX}.preload_failures")),
+            "store_attach_failures":
+            int(registry.get(f"{_CACHE_EVENTS_PREFIX}.store_attach_failures"))}
 
 
 def _initial_cache() -> VariantCache:
@@ -301,7 +311,8 @@ def _initial_cache() -> VariantCache:
         except (StoreError, OSError) as error:
             # an unusable shared tree must never kill a worker — but it must
             # not silently cost a full rebuild either
-            _CACHE_EVENTS["store_attach_failures"] += 1
+            obs_metrics.counter(
+                f"{_CACHE_EVENTS_PREFIX}.store_attach_failures")
             logger.warning(
                 "worker cache: cannot attach store %s (%s: %s); "
                 "building storeless", store_dir, type(error).__name__, error)
@@ -319,7 +330,8 @@ def _initial_cache() -> VariantCache:
                 # must never kill a worker — builds are deterministic, so
                 # starting empty only costs time.  One warning + a counter
                 # so the degradation is diagnosable, not silent.
-                _CACHE_EVENTS["preload_failures"] += 1
+                obs_metrics.counter(
+                    f"{_CACHE_EVENTS_PREFIX}.preload_failures")
                 logger.warning(
                     "worker cache: preload from %s failed (%s: %s); "
                     "starting cold", path, type(error).__name__, error)
@@ -330,8 +342,7 @@ def reset_worker_cache() -> None:
     """Drop the process-local cache (tests use this to isolate scenarios)."""
     global _WORKER_CACHE
     _WORKER_CACHE = None
-    _CACHE_EVENTS["preload_failures"] = 0
-    _CACHE_EVENTS["store_attach_failures"] = 0
+    obs_metrics.REGISTRY.reset(_CACHE_EVENTS_PREFIX)
 
 
 # -- experiment-matrix helpers --------------------------------------------------------
@@ -374,6 +385,12 @@ def _supervised_entry(payload: Tuple) -> object:
     the environment) the injector may crash the process, stall the task or
     raise before the real task function runs; the firing decision is a pure
     function of (seed, task index, attempt), so chaos runs are reproducible.
+
+    Also the telemetry task boundary: the task runs under a ``task`` span
+    and the worker's buffered spans + metrics snapshot are flushed to its
+    per-pid shard file afterwards (a no-op without an active telemetry run),
+    so even a worker that is killed later has handed over everything up to
+    its last completed task.
     """
     task_fn, task, index, attempt = payload
     injector = active_injector()
@@ -382,7 +399,14 @@ def _supervised_entry(payload: Tuple) -> object:
         injector.maybe_crash(token, attempt)
         injector.maybe_hang(token, attempt)
         injector.maybe_error(token, attempt)
-    return task_fn(task)
+    try:
+        with obs_tracing.span("task", cat="task", index=index,
+                              attempt=attempt):
+            result = task_fn(task)
+        obs_metrics.counter("executor.tasks_completed")
+        return result
+    finally:
+        flush_telemetry()
 
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -425,6 +449,9 @@ def _run_supervised(task_fn: Callable[[Task], Result], tasks: List[Task],
     def recycle_pool() -> None:
         nonlocal pool
         if pool is not None:
+            obs_metrics.counter("executor.pool_respawns")
+            obs_tracing.event("executor.pool_respawn", cat="coordinate",
+                              consecutive_failures=pool_failures)
             _kill_pool(pool)
             pool = None
 
@@ -432,6 +459,10 @@ def _run_supervised(task_fn: Callable[[Task], Result], tasks: List[Task],
                 cause: str) -> None:
         """Put a task back on the queue, aborting if its budget is spent."""
         next_attempt = attempt + 1 if burn_retry else attempt
+        if burn_retry:
+            obs_metrics.counter("executor.retries")
+            obs_tracing.event("executor.retry", cat="task", index=index,
+                              attempt=attempt, cause=cause)
         if next_attempt > retries:
             recycle_pool()
             raise ExecutorTaskError(index, tasks[index], attempt + 1, cause)
@@ -439,6 +470,9 @@ def _run_supervised(task_fn: Callable[[Task], Result], tasks: List[Task],
 
     def run_serially() -> None:
         """Graceful degradation: finish the remaining tasks in-process."""
+        obs_metrics.counter("executor.serial_degradations")
+        obs_tracing.event("executor.serial_degradation", cat="coordinate",
+                          remaining=len(pending) + len(inflight))
         logger.warning(
             "executor: %d consecutive pool failures; finishing %d task(s) "
             "serially in-process", pool_failures,
@@ -540,6 +574,10 @@ def _run_supervised(task_fn: Callable[[Task], Result], tasks: List[Task],
                     recycle_pool()
                     for future, (index, attempt, _started) in inflight.items():
                         if future in hung:
+                            obs_metrics.counter("executor.timeouts")
+                            obs_tracing.event(
+                                "executor.timeout", cat="task", index=index,
+                                attempt=attempt, timeout=timeout)
                             logger.warning(
                                 "executor: task %d exceeded %.3gs timeout "
                                 "(attempt %d); killing worker and retrying",

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..core.variant_cache import VariantCache, variant_key
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from ..opt.pass_manager import OptOptions
 from ..toolchain import (KHAOS_LABELS, build_baseline, build_obfuscated,
                          obfuscator_for, overhead_percent)
@@ -82,10 +84,20 @@ def build_variant(workload: WorkloadProgram, label: str,
         key_source = obfuscator_for(label)
         builder = lambda: build_obfuscated(  # noqa: E731
             workload.build(), key_source, options)
+
+    def traced_builder():
+        # the span covers only *fresh* builds — cache/store hits are already
+        # visible as store.read spans and store.*_hits counters
+        with obs_tracing.span("build.variant", cat="build",
+                              workload=workload.name, label=label):
+            artifact = builder()
+        obs_metrics.counter("build.variants")
+        return artifact
+
     if cache is None:
-        return builder()
+        return traced_builder()
     return cache.get_or_build(variant_key(workload, key_source, options),
-                              builder)
+                              traced_builder)
 
 
 def measure_overhead(workloads: Sequence[WorkloadProgram],

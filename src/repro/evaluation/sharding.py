@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.variant_cache import variant_key
+from ..obs import tracing as obs_tracing
 from ..opt.pass_manager import OptOptions
 from ..vm.batch import VMBatch
 from ..vm.machine import ExecutionResult
@@ -85,8 +86,11 @@ class ShardBatch:
         """Build (or fetch) the ``label`` variant and run the input batch."""
         artifact = build_variant(self.workload, label, self.options,
                                  self.cache)
-        return self.vm.run_many(artifact.program, self.input_sets,
-                                binary=getattr(artifact, "binary", None))
+        with obs_tracing.span("vm.measure", cat="measure",
+                              workload=self.workload.name, label=label,
+                              inputs=len(self.input_sets)):
+            return self.vm.run_many(artifact.program, self.input_sets,
+                                    binary=getattr(artifact, "binary", None))
 
     def execute(self, label: str) -> ExecutionResult:
         """The variant's first-input execution (the figure-driver row)."""
@@ -104,8 +108,10 @@ class ShardBatch:
 def _overhead_shard(shard: OverheadShard) -> List[OverheadRow]:
     """Executor entry point: one workload's rows via the worker's cache."""
     workload, labels, options = shard
-    batch = ShardBatch(workload, options, worker_cache())
-    return batch.rows(labels)
+    with obs_tracing.span("shard.fig67", cat="measure",
+                          workload=workload.name, labels=len(labels)):
+        batch = ShardBatch(workload, options, worker_cache())
+        return batch.rows(labels)
 
 
 def measure_overhead_sharded(workloads: Sequence[WorkloadProgram],

@@ -1,0 +1,26 @@
+"""Unified telemetry: metrics registry, span tracing, cross-process
+collection and trace export.
+
+Quick map:
+
+- :mod:`.metrics` — process-global :data:`~repro.obs.metrics.REGISTRY`
+  of counters/gauges/histograms; always on (a handful of dict ops), the
+  backing store for every legacy ``stats()`` façade;
+- :mod:`.tracing` — ``span()``/``event()``/``traced`` guarded by the
+  ``REPRO_TRACE`` module flag; no-op singleton when off;
+- :mod:`.collect` — per-process ``<pid>.jsonl`` flushes into
+  ``<store>/telemetry/<run_id>/`` and the deterministic merge;
+- :mod:`.export` — Chrome trace-event JSON + flat metrics JSON.
+
+``scripts/trace_report.py`` is the human front end.
+"""
+
+from .metrics import REGISTRY, MetricsRegistry, counter, gauge, observe
+from .tracing import active, event, span, traced
+from .collect import flush, open_run, telemetry_dir
+
+__all__ = [
+    "REGISTRY", "MetricsRegistry", "counter", "gauge", "observe",
+    "active", "event", "span", "traced",
+    "flush", "open_run", "telemetry_dir",
+]

@@ -1,0 +1,183 @@
+"""Cross-process telemetry collection.
+
+The coordinator (``run_checkpointed``, or any driver) opens a *telemetry
+run*: a directory ``<store>/telemetry/<run_id>/`` whose path is handed to
+spawned workers through the ``REPRO_TELEMETRY_DIR`` environment variable
+(the supervised executor spawns workers after the coordinator has set it,
+so inheritance is free).  Each process — workers at task boundaries, the
+coordinator at run exit — appends its buffered spans plus a metrics
+snapshot to its own ``<pid>.jsonl``; nobody ever writes another process's
+file, so no locking is needed.  At run exit the coordinator merges every
+shard file with the stable order ``(ts, pid, seq)`` and writes the two
+exports (``trace.json`` Chrome trace-event JSON + ``metrics.json``).
+
+A run only opens when telemetry is wanted (``REPRO_TRACE`` or
+``REPRO_METRICS`` truthy): the default pipeline writes no telemetry files
+at all.  Nested opens (a fig8 driver inside a bench inside a test) are
+no-ops — the outermost run owns the directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from . import tracing
+from .metrics import REGISTRY, merge_snapshots
+
+ENV_DIR = "REPRO_TELEMETRY_DIR"
+_TRUTHY_OFF = ("", "0", "off", "false", "no")
+
+
+def metrics_wanted() -> bool:
+    return (os.environ.get("REPRO_METRICS", "").strip().lower()
+            not in _TRUTHY_OFF)
+
+
+def telemetry_wanted() -> bool:
+    """Should a run directory be opened at all?"""
+    return tracing.active() or metrics_wanted()
+
+
+def telemetry_dir() -> Optional[str]:
+    """The active run directory this process flushes into (or None)."""
+    return os.environ.get(ENV_DIR) or None
+
+
+def flush(directory: Optional[str] = None) -> Optional[str]:
+    """Append this process's buffered spans + a metrics snapshot to its
+    ``<pid>.jsonl`` shard file.  Called by workers at task boundaries and
+    by the coordinator at run exit; a no-op without an active run."""
+    directory = directory or telemetry_dir()
+    if directory is None:
+        return None
+    records = tracing.drain() if tracing.active() else []
+    path = os.path.join(directory, "%d.jsonl" % os.getpid())
+    try:
+        with open(path, "a", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(record, sort_keys=True,
+                                    default=repr) + "\n")
+            snap = REGISTRY.snapshot()
+            if snap["counters"] or snap["gauges"] or snap["histograms"]:
+                fh.write(json.dumps(
+                    {"type": "metrics", "pid": os.getpid(), **snap},
+                    sort_keys=True, default=repr) + "\n")
+    except OSError:
+        return None        # telemetry must never fail the pipeline
+    return path
+
+
+class TelemetryRun:
+    """Context manager owning one ``telemetry/<run_id>/`` directory."""
+
+    def __init__(self, directory: str, run_id: str) -> None:
+        self.directory = directory
+        self.run_id = run_id
+        self.owned = False          # outermost open owns merge + env
+
+    def __enter__(self) -> "TelemetryRun":
+        if telemetry_dir() is not None:       # nested: outer run owns it
+            self.directory = telemetry_dir()
+            return self
+        os.makedirs(self.directory, exist_ok=True)
+        os.environ[ENV_DIR] = self.directory
+        self.owned = True
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if not self.owned:
+            return
+        flush(self.directory)
+        try:
+            finalize_run(self.directory)
+        except OSError:
+            pass
+        os.environ.pop(ENV_DIR, None)
+
+
+class _NullRun:
+    directory = None
+    run_id = None
+
+    def __enter__(self) -> "_NullRun":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        return None
+
+
+def open_run(store_root: Optional[str], run_id: str):
+    """Open a telemetry run under ``<store_root>/telemetry/<run_id>/``.
+
+    Returns a no-op context when telemetry is disabled or there is no
+    store tree to put the run in.
+    """
+    if store_root is None or not telemetry_wanted():
+        return _NullRun()
+    return TelemetryRun(os.path.join(str(store_root), "telemetry", run_id),
+                        run_id)
+
+
+def read_shards(directory: str) -> Tuple[List[Dict[str, Any]],
+                                         List[Dict[str, Any]]]:
+    """Read every per-pid shard file: (trace records, metrics snapshots)."""
+    records: List[Dict[str, Any]] = []
+    snapshots: List[Dict[str, Any]] = []
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return records, snapshots
+    for name in names:
+        if not name.endswith(".jsonl"):
+            continue
+        try:
+            with open(os.path.join(directory, name), encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue          # truncated trailing line
+                    if record.get("type") == "metrics":
+                        snapshots.append(record)
+                    else:
+                        records.append(record)
+        except OSError:
+            continue
+    return records, snapshots
+
+
+def merge_records(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Deterministic global order: ``(ts, pid, seq)``.
+
+    ``seq`` is process-local and monotonic, so two merges of the same
+    shard files always agree — including ties on the microsecond clock.
+    """
+    return sorted(records, key=lambda r: (r.get("ts", 0), r.get("pid", 0),
+                                          r.get("seq", 0)))
+
+
+def finalize_run(directory: str) -> Dict[str, str]:
+    """Merge shard files and write ``trace.json`` + ``metrics.json``."""
+    from .export import write_chrome_trace, write_metrics
+    records, snapshots = read_shards(directory)
+    merged = merge_records(records)
+    trace_path = os.path.join(directory, "trace.json")
+    metrics_path = os.path.join(directory, "metrics.json")
+    write_chrome_trace(trace_path, merged)
+    # later snapshots from the same pid supersede earlier ones (counters
+    # are monotonic within a process), then pids sum
+    last: Dict[int, Dict[str, Any]] = {}
+    for snap in snapshots:
+        last[int(snap.get("pid", 0))] = snap
+    write_metrics(metrics_path,
+                  merge_snapshots([last[pid] for pid in sorted(last)]),
+                  per_pid={str(pid): {k: last[pid].get(k, {})
+                                      for k in ("counters", "gauges",
+                                                "histograms")}
+                           for pid in sorted(last)})
+    return {"trace": trace_path, "metrics": metrics_path}

@@ -1,0 +1,106 @@
+"""Exporters: Chrome trace-event JSON (Perfetto / chrome://tracing) and a
+flat metrics JSON.
+
+The trace format is the object form ``{"traceEvents": [...]}`` with
+complete-duration events (``ph: "X"``) for spans and instant events
+(``ph: "i"``) for point occurrences, plus ``M``-phase process-name
+metadata so per-worker lanes are labelled.  Timestamps are epoch
+microseconds straight from the span layer — no rebasing, so traces from
+different processes line up on the shared wall clock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+TRACE_SCHEMA = 1
+METRICS_SCHEMA = 1
+
+
+def chrome_trace(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert merged span/event records into a Chrome trace-event dict."""
+    events: List[Dict[str, Any]] = []
+    pids = []
+    for record in records:
+        pid = record.get("pid", 0)
+        if pid not in pids:
+            pids.append(pid)
+        base = {
+            "name": record.get("name", "?"),
+            "cat": record.get("cat") or "other",
+            "ts": record.get("ts", 0),
+            "pid": pid,
+            "tid": record.get("tid", 0),
+            "args": record.get("args", {}) or {},
+        }
+        if record.get("type") == "event":
+            base["ph"] = "i"
+            base["s"] = "t"          # thread-scoped instant
+        else:
+            base["ph"] = "X"
+            base["dur"] = record.get("dur", 0)
+        events.append(base)
+    for pid in pids:
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"name": "repro worker %s" % pid}})
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": {"schema": TRACE_SCHEMA, "generator": "repro.obs"}}
+
+
+def write_chrome_trace(path: str, records: List[Dict[str, Any]]) -> str:
+    payload = chrome_trace(records)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, sort_keys=True)
+    os.replace(tmp, path)
+    return path
+
+
+def write_metrics(path: str, merged: Dict[str, Any],
+                  per_pid: Optional[Dict[str, Any]] = None) -> str:
+    payload = {"schema": METRICS_SCHEMA, "merged": merged,
+               "per_pid": per_pid or {}}
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, sort_keys=True)
+    os.replace(tmp, path)
+    return path
+
+
+def validate_chrome_trace(payload: Any) -> List[str]:
+    """Structural schema check (``trace_report.py --validate``).
+
+    Returns a list of problems; empty means the trace should load in
+    Perfetto / chrome://tracing.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["top level is not an object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, ev in enumerate(events):
+        where = "traceEvents[%d]" % i
+        if not isinstance(ev, dict):
+            problems.append("%s not an object" % where)
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M", "B", "E"):
+            problems.append("%s bad ph %r" % (where, ph))
+            continue
+        if ph == "M":
+            continue
+        for key in ("name", "ts", "pid"):
+            if key not in ev:
+                problems.append("%s missing %s" % (where, key))
+        if not isinstance(ev.get("ts", 0), (int, float)):
+            problems.append("%s non-numeric ts" % where)
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append("%s bad dur %r" % (where, dur))
+    return problems

@@ -41,6 +41,8 @@ from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple, TypeVar
 
 from ..faults import active_injector
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from .generation_log import GenerationLog
 from .keys import KEY_SCHEMA as _KEY_SCHEMA
 
@@ -151,17 +153,12 @@ class ArtifactStore:
         self._memory: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
         #: (kind, digest) -> key, kept alongside the LRU for introspection
         self._keys: Dict[Tuple[str, str], object] = {}
-        self.memory_hits = 0
-        self.disk_hits = 0
-        self.misses = 0
-        self.puts = 0
-        #: Corrupt object reads by cause — concrete exception class name
-        #: (``"UnpicklingError"``, ``"EOFError"``, ...) or
-        #: ``"envelope_mismatch"`` for files that unpickle but fail schema /
-        #: kind / key validation.
-        self.corrupt_reads: Dict[str, int] = {}
-        #: Corrupt objects successfully moved into ``quarantine/``.
-        self.quarantined = 0
+        #: The store's counters live in a per-instance metrics registry
+        #: chained to the process-global one: ``stats()`` and the counter
+        #: properties read the instance view (resettable, one per store
+        #: object — the shape the tests assert), while every increment also
+        #: lands in :data:`repro.obs.metrics.REGISTRY` for telemetry.
+        self.metrics = obs_metrics.MetricsRegistry(parent=obs_metrics.REGISTRY)
         self._log: Optional[GenerationLog] = None
         if self.root is not None:
             self._attach_tree()
@@ -236,15 +233,15 @@ class ArtifactStore:
         except KeyError:
             pass
         else:
-            self.memory_hits += 1
+            self.metrics.counter("store.memory_hits")
             self._memory.move_to_end(slot)
             return payload  # type: ignore[return-value]
         payload = self._read_object(kind, digest, key)
         if payload is not _MISSING:
-            self.disk_hits += 1
+            self.metrics.counter("store.disk_hits")
             self._remember(slot, key, payload)
             return payload  # type: ignore[return-value]
-        self.misses += 1
+        self.metrics.counter("store.misses")
         payload = builder()
         self._remember(slot, key, payload)
         self._write_object(kind, digest, key, payload)
@@ -255,13 +252,13 @@ class ArtifactStore:
         digest = store_digest(kind, key)
         slot = (kind, digest)
         if slot in self._memory:
-            self.memory_hits += 1
+            self.metrics.counter("store.memory_hits")
             self._memory.move_to_end(slot)
             return self._memory[slot]
         payload = self._read_object(kind, digest, key)
         if payload is _MISSING:
             return default
-        self.disk_hits += 1
+        self.metrics.counter("store.disk_hits")
         self._remember(slot, key, payload)
         return payload
 
@@ -339,12 +336,8 @@ class ArtifactStore:
         self._keys.clear()
 
     def reset_counters(self) -> None:
-        self.memory_hits = 0
-        self.disk_hits = 0
-        self.misses = 0
-        self.puts = 0
-        self.corrupt_reads = {}
-        self.quarantined = 0
+        """Zero this store's counter view (process-global totals survive)."""
+        self.metrics.reset()
 
     # -- disk layer --------------------------------------------------------------
 
@@ -353,8 +346,11 @@ class ArtifactStore:
             return _MISSING
         path = self.object_path(kind, digest)
         try:
-            with open(path, "rb") as fh:
-                envelope = pickle.load(fh)
+            with obs_tracing.span("store.read", cat="store", kind=kind):
+                with open(path, "rb") as fh:
+                    size = os.fstat(fh.fileno()).st_size
+                    envelope = pickle.load(fh)
+                self.metrics.counter("store.bytes_read", size)
         except FileNotFoundError:
             return _MISSING
         except CORRUPT_READ_ERRORS as error:
@@ -386,7 +382,9 @@ class ArtifactStore:
         ``corrupt_reads`` counter always advances, so silent degradation is
         impossible either way.
         """
-        self.corrupt_reads[cause] = self.corrupt_reads.get(cause, 0) + 1
+        self.metrics.counter(f"store.corrupt_reads.{cause}")
+        obs_tracing.event("store.quarantine", cat="store", kind=kind,
+                          digest=digest[:12], cause=cause)
         if self.root is None:
             return
         destination = self.quarantine_path(kind, digest)
@@ -402,7 +400,7 @@ class ArtifactStore:
             os.replace(tmp, f"{destination[:-len('.pkl')]}.reason.json")
         except OSError:
             return
-        self.quarantined += 1
+        self.metrics.counter("store.quarantined")
 
     def _write_object(self, kind: str, digest: str, key: object,
                       payload: object, overwrite: bool = False) -> None:
@@ -416,15 +414,18 @@ class ArtifactStore:
         os.makedirs(os.path.dirname(path), exist_ok=True)
         tmp_path = f"{path}.tmp.{os.getpid()}"
         try:
-            data = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
-            injector = active_injector()
-            if injector is not None:
-                # seeded chaos (REPRO_FAULTS store_corrupt): damage the bytes
-                # on their way to disk, at most once per object per process
-                data = injector.corrupt_payload(f"{kind}:{digest}", data)
-            with open(tmp_path, "wb") as fh:
-                fh.write(data)
-            os.replace(tmp_path, path)
+            with obs_tracing.span("store.write", cat="store", kind=kind):
+                data = pickle.dumps(envelope,
+                                    protocol=pickle.HIGHEST_PROTOCOL)
+                injector = active_injector()
+                if injector is not None:
+                    # seeded chaos (REPRO_FAULTS store_corrupt): damage the
+                    # bytes on their way to disk, at most once per object
+                    # per process
+                    data = injector.corrupt_payload(f"{kind}:{digest}", data)
+                with open(tmp_path, "wb") as fh:
+                    fh.write(data)
+                os.replace(tmp_path, path)
         except (OSError, pickle.PicklingError, TypeError,
                 AttributeError):
             # persistence is an optimisation; never fail the build for an
@@ -434,7 +435,8 @@ class ArtifactStore:
             except OSError:
                 pass
             return
-        self.puts += 1
+        self.metrics.counter("store.puts")
+        self.metrics.counter("store.bytes_written", len(data))
         if self._log is not None:
             try:
                 self._log.append_entry(self.root, digest, kind,
@@ -445,6 +447,39 @@ class ArtifactStore:
                 self._log.record(digest, kind, note=_key_note(key))
 
     # -- reporting ---------------------------------------------------------------
+    # The counter attributes of the pre-telemetry store are now read-only
+    # views over the instance metrics registry — same names, same semantics,
+    # so ``store.misses``-style callers and the ``stats()`` dict shape are
+    # unchanged.
+
+    @property
+    def memory_hits(self) -> int:
+        return int(self.metrics.get("store.memory_hits"))
+
+    @property
+    def disk_hits(self) -> int:
+        return int(self.metrics.get("store.disk_hits"))
+
+    @property
+    def misses(self) -> int:
+        return int(self.metrics.get("store.misses"))
+
+    @property
+    def puts(self) -> int:
+        return int(self.metrics.get("store.puts"))
+
+    @property
+    def quarantined(self) -> int:
+        return int(self.metrics.get("store.quarantined"))
+
+    @property
+    def corrupt_reads(self) -> Dict[str, int]:
+        """Corrupt object reads by cause — concrete exception class name
+        (``"UnpicklingError"``, ``"EOFError"``, ...) or
+        ``"envelope_mismatch"`` for files that unpickle but fail schema /
+        kind / key validation."""
+        return {cause: int(count) for cause, count
+                in self.metrics.prefixed("store.corrupt_reads").items()}
 
     @property
     def hits(self) -> int:

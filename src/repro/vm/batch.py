@@ -33,6 +33,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..ir.module import Program
+from ..obs import metrics as obs_metrics
 from .costs import CostModel
 from .machine import ExecutionResult, Interpreter
 
@@ -62,9 +63,12 @@ class VMBatch:
         # objects so id-based keys stay valid for the life of the batch
         self._results: Dict[tuple, Tuple[tuple, List[ExecutionResult]]] = {}
         self._digests: Dict[int, Tuple[object, str]] = {}
-        self.executions = 0
-        self.memo_hits = 0
-        self.interpreters = 0
+        #: Per-batch counter view chained to the process-global registry:
+        #: the ``executions``/``memo_hits``/``interpreters`` attributes keep
+        #: their per-instance semantics while every increment also feeds the
+        #: telemetry flush (``vmbatch.*`` counters).
+        self.metrics = obs_metrics.MetricsRegistry(
+            parent=obs_metrics.REGISTRY)
 
     # -- memo keys ----------------------------------------------------------------
 
@@ -99,10 +103,10 @@ class VMBatch:
         entry = self._results.get(key)
         if entry is not None and (binary is not None
                                   or entry[0][0] is program):
-            self.memo_hits += 1
+            self.metrics.counter("vmbatch.memo_hits")
             return list(entry[1])
-        self.interpreters += 1
-        self.executions += len(sets)
+        self.metrics.counter("vmbatch.interpreters")
+        self.metrics.counter("vmbatch.executions", len(sets))
         interpreter = Interpreter(program, cost_model=self.cost_model,
                                   max_steps=self.max_steps,
                                   compiled=self.compiled,
@@ -114,6 +118,20 @@ class VMBatch:
     def run(self, program: Program, binary=None) -> ExecutionResult:
         """Execute ``program`` once per batch; later calls reuse the result."""
         return self.run_many(program, SINGLE_RUN, binary=binary)[0]
+
+    # -- façade counters (instance registry views) --------------------------------
+
+    @property
+    def executions(self) -> int:
+        return int(self.metrics.get("vmbatch.executions"))
+
+    @property
+    def memo_hits(self) -> int:
+        return int(self.metrics.get("vmbatch.memo_hits"))
+
+    @property
+    def interpreters(self) -> int:
+        return int(self.metrics.get("vmbatch.interpreters"))
 
     def cycles(self, program: Program, binary=None) -> int:
         return self.run(program, binary=binary).cycles

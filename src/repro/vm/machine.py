@@ -19,6 +19,7 @@ runtime meaning.
 from __future__ import annotations
 
 import os
+import time
 
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -32,6 +33,8 @@ from ..ir.module import Program
 from ..ir.types import IntType, Type
 from ..ir.values import (Constant, GlobalVariable, NullPointer, UndefValue,
                          Value)
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from .costs import CostModel, DEFAULT_COST_MODEL
 
 
@@ -322,11 +325,12 @@ class Interpreter:
             raise ExecutionError(
                 f"program {self.program.name} has no entry function "
                 f"{self.program.entry!r}")
+        started = time.perf_counter()
         try:
             exit_value = self.call_function(entry, list(args or []))
         except _ProgramExit as stop:
             exit_value = stop.code
-        return ExecutionResult(
+        result = ExecutionResult(
             exit_value=exit_value,
             output=list(self.output),
             cycles=self.cycles,
@@ -334,6 +338,20 @@ class Interpreter:
             call_count=self.call_count,
             steps=self.steps,
         )
+        # per-run telemetry only (never per instruction): a handful of dict
+        # increments + two clock reads, well inside the ≤2% disabled budget
+        elapsed = time.perf_counter() - started
+        self._metrics_run(result, elapsed)
+        return result
+
+    def _metrics_run(self, result: ExecutionResult, elapsed: float) -> None:
+        counter = obs_metrics.REGISTRY.counter
+        counter("vm.runs." + self.dispatch)
+        counter("vm.steps", result.steps)
+        if elapsed > 0:
+            obs_metrics.REGISTRY.gauge("vm.steps_per_s",
+                                       result.steps / elapsed)
+            obs_metrics.REGISTRY.observe("vm.run_seconds", elapsed)
 
     def run_many(self, input_sets: Sequence[Sequence[int]],
                  args: Optional[Sequence[object]] = None
@@ -554,6 +572,14 @@ class Interpreter:
                         if trace.heat >= trace.jit_at:
                             fast = self._trace_compiler.ensure_fast(function,
                                                                     trace)
+                            if fast is not None:
+                                obs_metrics.REGISTRY.counter(
+                                    "vm.trace_codegen")
+                                obs_tracing.event(
+                                    "vm.trace_codegen", cat="measure",
+                                    fn=function.name,
+                                    head=trace.blocks[0].name,
+                                    blocks=len(trace.blocks))
                     if fast is not None and steps + trace.count <= max_steps:
                         steps += trace.count
                         instructions += trace.count
@@ -637,6 +663,9 @@ class Interpreter:
                                                  self._analyses)
         trace = self._trace_compiler.build_trace(function, block)
         self._traces[block] = trace
+        obs_metrics.REGISTRY.counter("vm.traces_built")
+        obs_tracing.event("vm.trace_build", cat="measure", fn=function.name,
+                          head=block.name, blocks=len(trace.blocks))
         return trace
 
     def _check_trace(self, function: Function, trace) -> None:
