@@ -119,7 +119,7 @@ REQUIRED_KEYS = ("schema", "config", "vm", "vm_superblock",
                  "fig6_measure_loop", "fig6_end_to_end", "pipeline",
                  "variant_cache", "fig8_diff_phase", "fig67_sharded",
                  "fig8_function_sharded", "fault_overhead",
-                 "verify_overhead", "telemetry_overhead")
+                 "verify_overhead", "telemetry_overhead", "remote_store")
 
 
 def best_of(fn: Callable[[], object], reps: int) -> float:
@@ -597,6 +597,127 @@ def bench_fig8_function_sharded(programs, reps: int) -> Dict[str, object]:
     }
 
 
+def bench_remote_store(programs, reps: int) -> Dict[str, object]:
+    """Figure 8 over a loopback store server vs the local tree.
+
+    Runs the function-sharded matrix cold and warm twice — once attached
+    to a local ``REPRO_STORE_DIR`` tree, once through ``REPRO_STORE_URL``
+    to a loopback ``scripts/store_server.py`` (every artifact crossing the
+    wire) — then resumes the warm remote tree through the two-partition
+    coordinator.  Server-side request counters make the read coalescing
+    visible: a warm remote rerun serves its shard objects out of far fewer
+    requests than objects.
+    """
+    scripts = os.path.abspath(os.path.join(os.path.dirname(__file__),
+                                           "..", "..", "scripts"))
+    if scripts not in sys.path:
+        sys.path.insert(0, scripts)
+    from store_server import StoreServer
+    from repro.evaluation.checkpoint import ShardRunStats
+    from repro.evaluation.coordinate import (CoordinatorStats,
+                                             measure_precision_coordinated)
+    from repro.evaluation.diff_sharding import measure_precision_sharded
+    from repro.evaluation.executor import reset_worker_cache
+
+    labels = MEASURE_LABELS
+    reference = measure_precision(programs, labels=labels, jobs=1)
+    env_keys = ("REPRO_STORE_DIR", "REPRO_STORE_URL",
+                "REPRO_STORE_CACHE_DIR", "REPRO_REMOTE_BACKOFF")
+    saved = {name: os.environ.get(name) for name in env_keys}
+
+    def timed_sharded():
+        reset_worker_cache()
+        gc.collect()
+        stats = ShardRunStats()
+        start = time.perf_counter()
+        report = measure_precision_sharded(programs, labels=labels, jobs=2,
+                                           run_stats=stats)
+        return report, time.perf_counter() - start, stats
+
+    def server_counters(state):
+        return {"requests": state.requests,
+                "objects_served": state.objects_served,
+                "bytes_served": state.bytes_served,
+                "objects_written": state.objects_written}
+
+    def delta(after, before):
+        return {name: after[name] - before[name] for name in after}
+
+    local_dir = tempfile.TemporaryDirectory(prefix="bench-local-store-")
+    remote_dir = tempfile.TemporaryDirectory(prefix="bench-remote-store-")
+    try:
+        for name in env_keys:
+            os.environ.pop(name, None)
+        os.environ["REPRO_STORE_DIR"] = local_dir.name
+        local_cold, local_cold_s, _ = timed_sharded()
+        local_warm, local_warm_s, local_warm_stats = timed_sharded()
+
+        os.environ.pop("REPRO_STORE_DIR", None)
+        os.environ["REPRO_REMOTE_BACKOFF"] = "0.001"
+        with StoreServer(remote_dir.name) as server:
+            os.environ["REPRO_STORE_URL"] = server.url
+            mark = server_counters(server.state)
+            remote_cold, remote_cold_s, _ = timed_sharded()
+            cold_counters = server_counters(server.state)
+            remote_warm, remote_warm_s, remote_warm_stats = timed_sharded()
+            warm_counters = server_counters(server.state)
+
+            # the coordinator over the same warm tree: shared journal, so
+            # every partition revives its shards without re-executing
+            reset_worker_cache()
+            coord_stats = CoordinatorStats()
+            start = time.perf_counter()
+            coordinated = measure_precision_coordinated(
+                programs, labels=labels, workers=2, coord_stats=coord_stats)
+            coordinated_s = time.perf_counter() - start
+    finally:
+        reset_worker_cache()
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        local_dir.cleanup()
+        remote_dir.cleanup()
+
+    warm_delta = delta(warm_counters, cold_counters)
+    return {
+        "programs": [wp.name for wp in programs],
+        "labels": list(labels),
+        "rows": len(reference.rows),
+        "local": {"cold_s": round(local_cold_s, 4),
+                  "warm_s": round(local_warm_s, 4),
+                  "warm_executed": local_warm_stats.executed},
+        "remote": {"cold_s": round(remote_cold_s, 4),
+                   "warm_s": round(remote_warm_s, 4),
+                   "warm_executed": remote_warm_stats.executed,
+                   "server": {"cold": delta(cold_counters, mark),
+                              "warm": warm_delta}},
+        "coordinated_remote": {"seconds": round(coordinated_s, 4),
+                               **coord_stats.as_dict()},
+        "remote_overhead": {
+            "cold_pct": round((remote_cold_s / local_cold_s - 1) * 100, 1)
+            if local_cold_s else None,
+            "warm_pct": round((remote_warm_s / local_warm_s - 1) * 100, 1)
+            if local_warm_s else None,
+        },
+        "warm_read_coalescing": {
+            "requests": warm_delta["requests"],
+            "objects_served": warm_delta["objects_served"],
+            "objects_per_request": round(
+                warm_delta["objects_served"] / warm_delta["requests"], 2)
+            if warm_delta["requests"] else None,
+        },
+        "identical": {
+            "local_cold": local_cold.rows == reference.rows,
+            "local_warm": local_warm.rows == reference.rows,
+            "remote_cold": remote_cold.rows == reference.rows,
+            "remote_warm": remote_warm.rows == reference.rows,
+            "coordinated_remote": coordinated.rows == reference.rows,
+        },
+    }
+
+
 def bench_fault_overhead(programs, reps: int) -> Dict[str, object]:
     """What the supervision layer costs when nothing fails.
 
@@ -1006,6 +1127,28 @@ def check_results(results: Dict[str, object]) -> List[str]:
             problems.append(f"trace attributed only "
                             f"{trace.get('coverage')} of busy time to "
                             f"named phases (want >= 0.95)")
+    remote = results.get("remote_store", {})
+    if remote:
+        for name, flag in sorted((remote.get("identical") or {}).items()):
+            if not flag:
+                problems.append(f"remote_store {name} run diverged from "
+                                f"the serial reference")
+        if remote.get("remote", {}).get("warm_executed", -1) != 0:
+            problems.append("warm remote fig8 rerun re-executed journaled "
+                            "shards")
+        if remote.get("coordinated_remote", {}).get("executed", -1) != 0:
+            problems.append("coordinated remote rerun re-executed "
+                            "journaled shards")
+        if remote.get("remote", {}).get("server", {}).get("cold", {}).get(
+                "objects_written", 0) <= 0:
+            problems.append("cold remote run wrote no objects through the "
+                            "server")
+        coalescing = remote.get("warm_read_coalescing", {})
+        if (coalescing.get("objects_served", 0) > 8
+                and not (coalescing.get("requests", 0)
+                         < coalescing.get("objects_served", 0))):
+            problems.append("warm remote reads were not coalesced "
+                            "(requests >= objects served)")
     if os.environ.get("REPRO_VARIANT_CACHE_DIR"):
         disk = results.get("disk_cache")
         if not disk:
@@ -1043,7 +1186,7 @@ def main(argv=None) -> int:
         batch = 32
 
     results = {
-        "schema": 9,
+        "schema": 10,
         "config": {"quick": bool(args.quick or args.smoke), "reps": reps,
                    "batch": batch,
                    "python": sys.version.split()[0],
@@ -1071,6 +1214,8 @@ def main(argv=None) -> int:
                                                  max(1, reps // 2)),
         "telemetry_overhead": bench_telemetry_overhead(loop_programs,
                                                        max(1, reps // 2)),
+        "remote_store": bench_remote_store(loop_programs,
+                                           max(1, reps // 2)),
     }
     if os.environ.get("REPRO_VARIANT_CACHE_DIR"):
         results["disk_cache"] = bench_disk_cache(loop_programs)
@@ -1132,6 +1277,16 @@ def main(argv=None) -> int:
           f"(off {to['fig8_jobs2']['off_s']}s -> on "
           f"{to['fig8_jobs2']['on_s']}s); trace coverage "
           f"{to['trace'].get('coverage')}, identical={to['identical']}")
+    rs = results["remote_store"]
+    print(f"remote store:      local cold {rs['local']['cold_s']}s / warm "
+          f"{rs['local']['warm_s']}s; remote cold {rs['remote']['cold_s']}s "
+          f"/ warm {rs['remote']['warm_s']}s "
+          f"(overhead {rs['remote_overhead']['cold_pct']}% cold, "
+          f"{rs['remote_overhead']['warm_pct']}% warm); coordinated "
+          f"{rs['coordinated_remote']['seconds']}s "
+          f"({rs['coordinated_remote']['resumed']} resumed); warm reads "
+          f"{rs['warm_read_coalescing']['objects_per_request']} "
+          f"objects/request; identical={rs['identical']}")
     if "disk_cache" in results:
         dc = results["disk_cache"]
         print(f"disk cache:        {dc['saved_entries']} entries -> "

@@ -1,0 +1,504 @@
+#!/usr/bin/env python
+"""HTTP artifact-store server: one warm tree, many machines.
+
+Serves a local :class:`~repro.store.backend.LocalBackend` object tree to
+any number of :class:`~repro.store.backend.RemoteBackend` clients
+(``REPRO_STORE_URL``).  Pure stdlib (``http.server``), threaded, and
+deliberately *dumb about payloads*: objects are opaque byte blobs moved
+with transport checksums — the server never unpickles anything, so a
+malicious or damaged envelope cannot execute code server-side.  All
+semantic validation (envelope schema, key match, quarantine policy)
+happens in the clients, which share the implementation with the local
+path.
+
+Protocol (all under one base URL):
+
+* ``GET /manifest`` — the tree's schema stamps + ledger counts; clients
+  validate compatibility at attach exactly like a local
+  ``generation.json`` read;
+* ``GET/HEAD/PUT /objects/<kind>/<digest>`` — single objects.  ``PUT``
+  is first-writer-kept (``201`` written, ``200`` existing copy kept)
+  unless ``X-Repro-Overwrite: 1``; bodies carry ``X-Repro-Sha256`` and
+  are rejected (``400``) on checksum mismatch, so a torn upload can
+  never be published;
+* ``DELETE /objects/<kind>/<digest>`` — GC sweep support;
+* ``POST /batch/get|head|put`` — coalesced forms.  ``batch/get``
+  responds with one JSON index line (``found``/``sizes``/``sha256``)
+  followed by the concatenated blobs; ``batch/put`` accepts the mirror
+  framing;
+* ``POST /quarantine/<kind>/<digest>`` — move a client-detected corrupt
+  object aside server-side (same ``quarantine/`` layout as local trees),
+  so the client's rebuild publishes into a clean slot;
+* ``GET/POST /runs/<run_id>`` — the checkpoint layer's run journals,
+  hosted next to the objects they reference so ``scripts/gc_store.py``
+  sees every live root;
+* ``GET /list[?kind=...]``, ``GET /stats`` — enumeration/inspection
+  (``scripts/fsck_store.py`` over HTTP, GC tooling, dashboards).
+
+Writes land through the same fsync'd atomic protocol as local puts and
+are ledgered in ``generation.entries`` with the tree's generation stamp.
+
+Usage:
+    PYTHONPATH=src python scripts/store_server.py /path/to/store
+    PYTHONPATH=src python scripts/store_server.py --host 0.0.0.0 \\
+        --port 8734 /path/to/store
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import re
+import sys
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.store import STORE_SCHEMA, KEY_SCHEMA, GenerationLog, StoreError
+from repro.store.backend import (CHECKSUM_HEADER, OVERWRITE_HEADER,
+                                 LocalBackend, fsync_directory)
+
+#: ``<kind>`` and ``<digest>`` path segments are validated against these
+#: before touching the filesystem — the URL space must not reach outside
+#: the tree.
+_KIND_RE = re.compile(r"^[a-z][a-z0-9_-]{0,31}$")
+_DIGEST_RE = re.compile(r"^[0-9a-f]{64}$")
+_RUN_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
+
+#: Largest accepted request body (one object or one batch), a backstop
+#: against a runaway client, not a tuning knob.
+MAX_BODY = 1 << 30
+
+
+class StoreServerState:
+    """The shared tree + ledger behind the request handlers."""
+
+    def __init__(self, root: str):
+        self.backend = LocalBackend(root)
+        self.backend.ensure_tree()
+        log = GenerationLog.load(root)
+        if log is None:
+            log = GenerationLog(store_schema=STORE_SCHEMA,
+                                key_schema=KEY_SCHEMA)
+            log.save(root)
+        elif log.store_schema != STORE_SCHEMA or log.key_schema != KEY_SCHEMA:
+            raise StoreError(
+                f"cannot serve store at {root!r}: tree has "
+                f"store_schema={log.store_schema} "
+                f"key_schema={log.key_schema}, this server speaks "
+                f"{STORE_SCHEMA}/{KEY_SCHEMA}")
+        self.log = log
+        self.root = self.backend.root
+        #: Serialises ledger appends (each is one O_APPEND write, but the
+        #: in-memory entry map behind ``record`` is not thread-safe).
+        self.ledger_lock = threading.Lock()
+        #: Serialises object publication.  ``LocalBackend.put`` is
+        #: check-then-rename, so two handler threads racing the same digest
+        #: could *both* report "written" — and the loser's payload would
+        #: silently replace the winner's, violating first-writer-kept.
+        self.write_lock = threading.Lock()
+        self.requests = 0
+        self.objects_served = 0
+        self.bytes_served = 0
+        self.objects_written = 0
+
+    def write(self, kind: str, digest: str, data: bytes,
+              overwrite: bool = False) -> bool:
+        """Publish one object atomically with respect to other handlers."""
+        with self.write_lock:
+            written = self.backend.put(kind, digest, data,
+                                       overwrite=overwrite)
+        if written:
+            self.objects_written += 1
+            self.ledger(digest, kind)
+        return written
+
+    def ledger(self, digest: str, kind: str) -> None:
+        with self.ledger_lock:
+            try:
+                self.log.append_entry(self.root, digest, kind,
+                                      note="(remote put)")
+            except OSError:
+                self.log.record(digest, kind, note="(remote put)")
+
+    def runs_dir(self) -> str:
+        return os.path.join(self.root, "runs")
+
+    def manifest(self) -> Dict[str, object]:
+        with self.ledger_lock:
+            kinds: Dict[str, int] = {}
+            for entry in self.log.entries.values():
+                kind = entry.get("kind")
+                if isinstance(kind, str):
+                    kinds[kind] = kinds.get(kind, 0) + 1
+            return {"store_schema": self.log.store_schema,
+                    "key_schema": self.log.key_schema,
+                    "generation": self.log.generation,
+                    "entries": len(self.log.entries),
+                    "kinds": kinds}
+
+
+class StoreRequestHandler(BaseHTTPRequestHandler):
+    """One request; the state object hangs off the server instance."""
+
+    server_version = "repro-store/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------------
+
+    @property
+    def state(self) -> StoreServerState:
+        return self.server.state  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:
+        if getattr(self.server, "verbose", False):  # type: ignore[attr-defined]
+            sys.stderr.write("store-server: " + (format % args) + "\n")
+
+    def _body(self) -> Optional[bytes]:
+        length = int(self.headers.get("Content-Length", "0") or "0")
+        if length < 0 or length > MAX_BODY:
+            self._error(413, "request body too large")
+            return None
+        return self.rfile.read(length) if length else b""
+
+    def _reply(self, status: int, data: bytes = b"",
+               content_type: str = "application/octet-stream",
+               extra: Optional[Dict[str, str]] = None) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in (extra or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        if self.command != "HEAD" and data:
+            self.wfile.write(data)
+
+    def _json(self, status: int, payload: object) -> None:
+        self._reply(status, json.dumps(payload, sort_keys=True
+                                       ).encode("utf-8"),
+                    content_type="application/json")
+
+    def _error(self, status: int, message: str) -> None:
+        self._json(status, {"error": message})
+
+    def _object_ref(self, prefix: str) -> Optional[Tuple[str, str]]:
+        """Parse + validate ``/<prefix>/<kind>/<digest>`` from the path."""
+        parts = self.path.split("?", 1)[0].strip("/").split("/")
+        if len(parts) != 3 or parts[0] != prefix:
+            self._error(404, "not found")
+            return None
+        kind, digest = parts[1], parts[2]
+        if not _KIND_RE.match(kind) or not _DIGEST_RE.match(digest):
+            self._error(400, "malformed kind or digest")
+            return None
+        return kind, digest
+
+    # -- GET / HEAD --------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        self.state.requests += 1
+        path = self.path.split("?", 1)[0]
+        if path == "/manifest":
+            self._json(200, self.state.manifest())
+        elif path == "/stats":
+            state = self.state
+            self._json(200, {"requests": state.requests,
+                             "objects_served": state.objects_served,
+                             "bytes_served": state.bytes_served,
+                             "objects_written": state.objects_written,
+                             "manifest": state.manifest()})
+        elif path == "/list":
+            self._get_list()
+        elif path.startswith("/objects/"):
+            self._get_object()
+        elif path.startswith("/runs/"):
+            self._get_run()
+        else:
+            self._error(404, "not found")
+
+    do_HEAD = do_GET
+
+    def _get_list(self) -> None:
+        query = urllib.parse.urlsplit(self.path).query
+        kind = urllib.parse.parse_qs(query).get("kind", [None])[0]
+        if kind is not None and not _KIND_RE.match(kind):
+            self._error(400, "malformed kind")
+            return
+        refs = self.state.backend.list_refs(kind)
+        self._json(200, {"refs": [[k, d] for k, d in refs]})
+
+    def _get_object(self) -> None:
+        ref = self._object_ref("objects")
+        if ref is None:
+            return
+        data = self.state.backend.get(*ref)
+        if data is None:
+            self._error(404, "no such object")
+            return
+        self.state.objects_served += 1
+        self.state.bytes_served += len(data)
+        self._reply(200, data,
+                    extra={CHECKSUM_HEADER:
+                           hashlib.sha256(data).hexdigest()})
+
+    def _get_run(self) -> None:
+        run_id = self.path.split("?", 1)[0][len("/runs/"):]
+        if not _RUN_RE.match(run_id):
+            self._error(400, "malformed run id")
+            return
+        path = os.path.join(self.state.runs_dir(), f"{run_id}.jsonl")
+        try:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except FileNotFoundError:
+            self._error(404, "no such run")
+            return
+        self._reply(200, data, content_type="text/plain")
+
+    # -- PUT / DELETE ------------------------------------------------------------
+
+    def do_PUT(self) -> None:
+        self.state.requests += 1
+        ref = self._object_ref("objects")
+        if ref is None:
+            return
+        data = self._body()
+        if data is None:
+            return
+        expected = self.headers.get(CHECKSUM_HEADER)
+        if expected and hashlib.sha256(data).hexdigest() != expected:
+            # a torn or damaged upload must never be published
+            self._error(400, "checksum mismatch")
+            return
+        overwrite = self.headers.get(OVERWRITE_HEADER, "") == "1"
+        kind, digest = ref
+        try:
+            written = self.state.write(kind, digest, data,
+                                       overwrite=overwrite)
+        except OSError as error:
+            self._error(500, f"write failed: {error}")
+            return
+        self._json(201 if written else 200, {"written": written})
+
+    def do_DELETE(self) -> None:
+        self.state.requests += 1
+        ref = self._object_ref("objects")
+        if ref is None:
+            return
+        if self.state.backend.delete(*ref):
+            self._json(200, {"deleted": True})
+        else:
+            self._error(404, "no such object")
+
+    # -- POST (batch, quarantine, runs) ------------------------------------------
+
+    def do_POST(self) -> None:
+        self.state.requests += 1
+        path = self.path.split("?", 1)[0]
+        data = self._body()
+        if data is None:
+            return
+        if path == "/batch/get":
+            self._batch_get(data)
+        elif path == "/batch/head":
+            self._batch_head(data)
+        elif path == "/batch/put":
+            self._batch_put(data)
+        elif path.startswith("/quarantine/"):
+            self._post_quarantine(data)
+        elif path.startswith("/runs/"):
+            self._post_run(data)
+        else:
+            self._error(404, "not found")
+
+    def _batch_refs(self, data: bytes) -> Optional[List[Tuple[str, str]]]:
+        try:
+            payload = json.loads(data.decode("utf-8"))
+            items = payload["items"]
+            refs = [(str(kind), str(digest)) for kind, digest in items]
+        except (ValueError, KeyError, TypeError):
+            self._error(400, "malformed batch request")
+            return None
+        for kind, digest in refs:
+            if not _KIND_RE.match(kind) or not _DIGEST_RE.match(digest):
+                self._error(400, "malformed kind or digest")
+                return None
+        return refs
+
+    def _batch_get(self, data: bytes) -> None:
+        refs = self._batch_refs(data)
+        if refs is None:
+            return
+        found: List[bool] = []
+        blobs: List[bytes] = []
+        for ref in refs:
+            blob = self.state.backend.get(*ref)
+            found.append(blob is not None)
+            if blob is not None:
+                blobs.append(blob)
+        index = {"found": found,
+                 "sizes": [len(blob) for blob in blobs],
+                 "sha256": [hashlib.sha256(blob).hexdigest()
+                            for blob in blobs]}
+        body = (json.dumps(index, sort_keys=True).encode("utf-8") + b"\n"
+                + b"".join(blobs))
+        self.state.objects_served += len(blobs)
+        self.state.bytes_served += sum(len(blob) for blob in blobs)
+        self._reply(200, body)
+
+    def _batch_head(self, data: bytes) -> None:
+        refs = self._batch_refs(data)
+        if refs is None:
+            return
+        self._json(200, {"found": [self.state.backend.contains(*ref)
+                                   for ref in refs]})
+
+    def _batch_put(self, data: bytes) -> None:
+        newline = data.find(b"\n")
+        if newline < 0:
+            self._error(400, "malformed batch framing")
+            return
+        try:
+            index = json.loads(data[:newline].decode("utf-8"))
+            items = [(str(kind), str(digest), int(size), str(sha))
+                     for kind, digest, size, sha in index["items"]]
+            overwrite = bool(index.get("overwrite", False))
+        except (ValueError, KeyError, TypeError):
+            self._error(400, "malformed batch request")
+            return
+        blobs = data[newline + 1:]
+        offset = 0
+        written: List[bool] = []
+        for kind, digest, size, sha in items:
+            if not _KIND_RE.match(kind) or not _DIGEST_RE.match(digest):
+                self._error(400, "malformed kind or digest")
+                return
+            blob = blobs[offset:offset + size]
+            offset += size
+            if len(blob) != size or hashlib.sha256(blob).hexdigest() != sha:
+                self._error(400, "checksum mismatch in batch")
+                return
+            try:
+                wrote = self.state.write(kind, digest, blob,
+                                         overwrite=overwrite)
+            except OSError as error:
+                self._error(500, f"write failed: {error}")
+                return
+            written.append(wrote)
+        self._json(200, {"written": written})
+
+    def _post_quarantine(self, data: bytes) -> None:
+        ref = self._object_ref("quarantine")
+        if ref is None:
+            return
+        try:
+            record = json.loads(data.decode("utf-8")) if data else {}
+        except ValueError:
+            record = {}
+        if not isinstance(record, dict):
+            record = {}
+        record.setdefault("quarantined_by", "remote client")
+        moved = self.state.backend.quarantine(ref[0], ref[1], record)
+        if moved:
+            self._json(200, {"quarantined": True})
+        else:
+            self._error(404, "no such object")
+
+    def _post_run(self, data: bytes) -> None:
+        run_id = self.path.split("?", 1)[0][len("/runs/"):]
+        if not _RUN_RE.match(run_id):
+            self._error(400, "malformed run id")
+            return
+        runs = self.state.runs_dir()
+        os.makedirs(runs, exist_ok=True)
+        path = os.path.join(runs, f"{run_id}.jsonl")
+        text = data.decode("utf-8", errors="replace")
+        if text and not text.endswith("\n"):
+            text += "\n"
+        # O_APPEND keeps concurrent journal lines whole, exactly like the
+        # local RunManifest; fsync so a journaled shard survives a crash
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, text.encode("utf-8"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        fsync_directory(runs)
+        self._json(200, {"appended": True})
+
+
+class StoreServer:
+    """An embeddable store server (tests use ``port=0`` loopback)."""
+
+    def __init__(self, root: str, host: str = "127.0.0.1", port: int = 0,
+                 verbose: bool = False):
+        self.state = StoreServerState(root)
+        self._httpd = ThreadingHTTPServer((host, port), StoreRequestHandler)
+        self._httpd.state = self.state  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> str:
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="store-server", daemon=True)
+        self._thread.start()
+        return self.url
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "StoreServer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serve an artifact-store tree over HTTP")
+    parser.add_argument("root", help="store tree to serve (created if absent)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default loopback; use 0.0.0.0 "
+                             "to serve a worker fleet)")
+    parser.add_argument("--port", type=int, default=8734,
+                        help="TCP port (default 8734; 0 picks a free one)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log each request to stderr")
+    args = parser.parse_args(argv)
+    try:
+        server = StoreServer(args.root, host=args.host, port=args.port,
+                             verbose=args.verbose)
+    except StoreError as error:
+        print(f"store-server: {error}", file=sys.stderr)
+        return 2
+    print(f"store-server: serving {server.state.root} at {server.url}",
+          flush=True)
+    try:
+        server._httpd.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server._httpd.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

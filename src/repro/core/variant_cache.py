@@ -114,7 +114,7 @@ class VariantCache:
         artifact = self._store.get_or_build(KIND_VARIANT, key, tracked_builder)
         if built:
             self.misses += 1
-            if self._store.root is not None:
+            if self._store.persistent:
                 binary = getattr(artifact, "binary", None)
                 if binary is not None:
                     self._store.put(KIND_BINARY, key, binary)

@@ -48,8 +48,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, TypeVar
 from ..obs import metrics as obs_metrics
 from ..obs import tracing as obs_tracing
 from ..obs.collect import open_run
-from ..store.artifact_store import (KIND_SHARD, ArtifactStore, StoreError,
-                                    store_digest, store_dir_from_env)
+from ..store.artifact_store import (KIND_SHARD, StoreError, store_digest,
+                                    store_dir_from_env, store_from_env)
+from ..store.backend import RemoteBackend, RemoteStoreError
 from .executor import run_tasks
 
 Task = TypeVar("Task")
@@ -81,6 +82,24 @@ def run_id(run_parts: object) -> str:
     return store_digest("run", run_parts)[:16]
 
 
+def _parse_journal(text: str) -> Set[str]:
+    """The completed-shard digests of one journal's lines — tolerant of
+    torn trailing lines, shared by the local and remote manifests."""
+    done: Set[str] = set()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn trailing line from a killed writer
+        digest = entry.get("digest") if isinstance(entry, dict) else None
+        if isinstance(digest, str):
+            done.add(digest)
+    return done
+
+
 class RunManifest:
     """The append-only journal of one run's completed shard digests.
 
@@ -101,20 +120,10 @@ class RunManifest:
     def _load(self) -> None:
         try:
             with open(self.path, "r", encoding="utf-8") as fh:
-                lines = fh.readlines()
+                text = fh.read()
         except OSError:
             return
-        for line in lines:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entry = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn trailing line from a killed writer
-            digest = entry.get("digest") if isinstance(entry, dict) else None
-            if isinstance(digest, str):
-                self.done.add(digest)
+        self.done |= _parse_journal(text)
 
     def mark_done(self, digest: str) -> None:
         """Journal one completed shard — O(1), durable before returning."""
@@ -125,8 +134,42 @@ class RunManifest:
                      0o644)
         try:
             os.write(fd, line.encode("utf-8"))
+            # the journal line is the promise "this shard will not re-run";
+            # fsync before returning so a crash cannot retract it
+            os.fsync(fd)
         finally:
             os.close(fd)
+
+
+class RemoteRunManifest:
+    """A :class:`RunManifest` hosted by the store server (``/runs/<id>``).
+
+    The journal must live next to the objects it references — GC marks
+    journal-reachable shards live, and a coordinated fleet shares one
+    journal — so a remote-attached run appends its lines through the
+    server's ``O_APPEND`` endpoint instead of a local file.  A transient
+    append failure under-reports one shard (it re-executes next run —
+    safe, and counted in ``store.remote_errors`` by the backend); it
+    never mis-resumes.
+    """
+
+    def __init__(self, backend: RemoteBackend, identity: str):
+        self.backend = backend
+        self.identity = identity
+        self.done: Set[str] = set()
+        try:
+            self.done |= _parse_journal(
+                backend.fetch_run_journal(identity))
+        except RemoteStoreError:
+            pass  # cold journal: everything re-executes, nothing is wrong
+
+    def mark_done(self, digest: str) -> None:
+        self.done.add(digest)
+        line = json.dumps({"digest": digest}) + "\n"
+        try:
+            self.backend.append_run_journal(self.identity, line)
+        except RemoteStoreError:
+            pass  # under-reported, re-executed next run; never mis-resumed
 
 
 @dataclass
@@ -191,21 +234,32 @@ def run_checkpointed(task_fn: Callable[[Task], Result], tasks: Sequence[Task],
 
 def _run_checkpointed(task_fn, tasks, keys, identity, root, jobs, chunksize,
                       normalize, stats) -> List[Result]:
-    if root is None or not checkpoint_enabled():
+    if not checkpoint_enabled():
         return run_tasks(task_fn, tasks, jobs=jobs, chunksize=chunksize)
     try:
-        store = ArtifactStore.attach(root, max_memory_entries=8)
+        store = store_from_env(max_memory_entries=8)
     except (StoreError, OSError):
-        # an unusable tree degrades to a plain (un-resumable) run, same as
-        # the worker cache's storeless degradation
+        # an unusable tree (or unreachable server) degrades to a plain
+        # (un-resumable) run, same as the worker cache's storeless
+        # degradation
+        store = None
+    if store is None or not store.persistent:
         return run_tasks(task_fn, tasks, jobs=jobs, chunksize=chunksize)
-    manifest = RunManifest(root, identity)
+    if store.root is not None:
+        manifest = RunManifest(store.root, identity)
+    else:
+        manifest = RemoteRunManifest(store.backend, identity)
     if stats is not None:
         stats.planned = len(tasks)
     obs_metrics.counter("checkpoint.planned", len(tasks))
 
     results: List[object] = [_ABSENT] * len(tasks)
     digests = [store_digest(KIND_SHARD, key) for key in keys]
+    # a warm remote resume revives many shards at once: coalesce their
+    # fetch into batch requests instead of one round trip per shard
+    store.prefetch(KIND_SHARD, [keys[index]
+                                for index, digest in enumerate(digests)
+                                if digest in manifest.done])
     pending: List[int] = []
     for index, digest in enumerate(digests):
         if digest in manifest.done:

@@ -53,9 +53,10 @@ from ..obs import tracing as obs_tracing
 from ..opt.pass_manager import OptOptions
 from ..opt.pipelines import optimize_program
 from ..store.artifact_store import store_dir_from_env
+from ..store.artifact_store import KIND_DIFF
 from ..store.diff_payloads import (diff_pair_key, load_roster, load_unit,
                                    load_whole, persist_roster, persist_unit,
-                                   persist_whole)
+                                   persist_whole, unit_key)
 from ..store.feature_payloads import persist_features, warm_features
 from ..toolchain import ALL_LABELS, obfuscator_for
 from ..utils import geometric_mean
@@ -241,6 +242,11 @@ def _diff_shard_impl(shard: DiffShard) -> DiffShardResult:
         return result
 
     mine = units[index::count]
+    if store is not None:
+        # a warm remote shard would otherwise pay one round trip per unit;
+        # coalesce them into batch fetches (no-op on local/storeless paths)
+        store.prefetch(KIND_DIFF, [unit_key(pair_key, unit)
+                                   for unit in mine])
     stored: Dict[str, Dict] = {}
     missing: List[str] = []
     for unit in mine:
@@ -368,6 +374,23 @@ def _merged_cells(workloads: Sequence[WorkloadProgram],
                                ("fig8-10", tuple(keys)), jobs=jobs,
                                chunksize=1, normalize=_normalize_resumed,
                                stats=run_stats)
+    return merge_shard_results(workloads, labels, differs, shards, results,
+                               stats)
+
+
+def merge_shard_results(workloads: Sequence[WorkloadProgram],
+                        labels: Sequence[str],
+                        differs: Sequence[BinaryDiffer],
+                        shards: Sequence[DiffShard],
+                        results: Sequence[DiffShardResult],
+                        stats: Optional[DiffShardStats] = None
+                        ) -> List[MergedCell]:
+    """Deterministically reassemble cells from shard results in matrix order.
+
+    ``results[i]`` must be the outcome of ``shards[i]`` — any scheduler
+    (serial, executor pool, multi-worker coordinator) that preserves that
+    pairing merges to identical cells, which is the bit-identity contract.
+    """
     cells: List[MergedCell] = []
     position = 0
     for workload in workloads:
@@ -388,6 +411,35 @@ def _merged_cells(workloads: Sequence[WorkloadProgram],
     return cells
 
 
+def precision_report_from_cells(cells: Sequence[MergedCell]
+                                ) -> PrecisionReport:
+    """Figure 8 rows from merged cells (shared by every scheduler)."""
+    report = PrecisionReport()
+    for workload, label, differ, units, merged, ranks in cells:
+        correct = sum(1 for unit in units if ranks.get(unit) == 1)
+        precision = correct / len(units) if units else 0.0
+        report.rows.append(PrecisionRow(
+            program=workload.name, suite=workload.suite, tool=differ.name,
+            label=label, precision=precision,
+            similarity_score=merged.similarity_score))
+    return report
+
+
+def escape_report_from_cells(cells: Sequence[MergedCell]) -> EscapeReport:
+    """Figure 10 rows from merged cells (shared by every scheduler)."""
+    report = EscapeReport()
+    for workload, label, differ, units, _merged, ranks in cells:
+        unit_set = set(units)
+        for function_name in workload.vulnerable_functions:
+            if function_name not in unit_set:
+                continue
+            report.rows.append(EscapeRow(
+                program=workload.name, function=function_name,
+                tool=differ.name, label=label,
+                rank_of_correct=ranks[function_name]))
+    return report
+
+
 def measure_precision_sharded(workloads: Sequence[WorkloadProgram],
                               labels: Sequence[str] = ALL_LABELS,
                               differs: Optional[Sequence[BinaryDiffer]] = None,
@@ -406,17 +458,9 @@ def measure_precision_sharded(workloads: Sequence[WorkloadProgram],
     tool's deterministic merge.
     """
     differs = list(differs) if differs is not None else all_differs()
-    report = PrecisionReport()
-    for workload, label, differ, units, merged, ranks in _merged_cells(
-            workloads, labels, differs, options, jobs, shards_per_cell, stats,
-            run_stats):
-        correct = sum(1 for unit in units if ranks.get(unit) == 1)
-        precision = correct / len(units) if units else 0.0
-        report.rows.append(PrecisionRow(
-            program=workload.name, suite=workload.suite, tool=differ.name,
-            label=label, precision=precision,
-            similarity_score=merged.similarity_score))
-    return report
+    return precision_report_from_cells(_merged_cells(
+        workloads, labels, differs, options, jobs, shards_per_cell, stats,
+        run_stats))
 
 
 def measure_escape_sharded(workloads: Sequence[WorkloadProgram],
@@ -431,19 +475,9 @@ def measure_escape_sharded(workloads: Sequence[WorkloadProgram],
     """Figure 10 through function-granularity shards (serial-identical)."""
     differs = list(differs) if differs is not None else escape_differs()
     vulnerable_workloads = [w for w in workloads if w.vulnerable_functions]
-    report = EscapeReport()
-    for workload, label, differ, units, _merged, ranks in _merged_cells(
-            vulnerable_workloads, labels, differs, options, jobs,
-            shards_per_cell, stats, run_stats):
-        unit_set = set(units)
-        for function_name in workload.vulnerable_functions:
-            if function_name not in unit_set:
-                continue
-            report.rows.append(EscapeRow(
-                program=workload.name, function=function_name,
-                tool=differ.name, label=label,
-                rank_of_correct=ranks[function_name]))
-    return report
+    return escape_report_from_cells(_merged_cells(
+        vulnerable_workloads, labels, differs, options, jobs,
+        shards_per_cell, stats, run_stats))
 
 
 # -- figure 9: binary-pair shards ------------------------------------------------------
@@ -503,29 +537,20 @@ def _bintuner_shard_impl(shard: BinTunerShard
     return similarities, overhead
 
 
-def measure_bintuner_sharded(workloads: Sequence[WorkloadProgram],
-                             tuner_iterations: int = 6,
-                             jobs: Optional[int] = None,
-                             run_stats: Optional[ShardRunStats] = None
-                             ) -> BinTunerReport:
-    """Figure 9 through binary-pair shards, bit-identical to the serial loop.
+def bintuner_shard_key(shard: BinTunerShard) -> Tuple:
+    """The value-based checkpoint identity of one figure-9 shard."""
+    workload, protection, iterations = shard
+    return ("fig9shard", variant_key(workload, "baseline", None),
+            protection, iterations)
 
-    The merge interleaves each workload's two protection shards back into
-    the serial row order (per opt level: bintuner, then khaos) and
-    aggregates the overhead geomean in workload order.
-    """
-    shards = shard_bintuner_matrix(workloads, tuner_iterations)
-    keys = [("fig9shard", variant_key(workload, "baseline", None),
-             protection, iterations)
-            for workload, protection, iterations in shards]
-    # with a shared store the opt-level references are fetched, not rebuilt,
-    # so the two protection shards of one workload can land anywhere;
-    # without one, chunk them onto the same worker so its in-memory cache
-    # builds each workload's references once instead of once per shard
-    chunksize = 1 if store_dir_from_env() else 2
-    results = run_checkpointed(_bintuner_shard, shards, keys,
-                               ("fig9", tuple(keys)), jobs=jobs,
-                               chunksize=chunksize, stats=run_stats)
+
+def bintuner_report_from_results(workloads: Sequence[WorkloadProgram],
+                                 results: Sequence[Tuple[List[float],
+                                                         Optional[float]]]
+                                 ) -> BinTunerReport:
+    """Figure 9 rows from shard results in :func:`shard_bintuner_matrix`
+    order: per opt level bintuner then khaos, overhead geomean in workload
+    order — the serial drivers' row order, shared by every scheduler."""
     report = BinTunerReport()
     overheads: List[float] = []
     for position, workload in enumerate(workloads):
@@ -542,3 +567,27 @@ def measure_bintuner_sharded(workloads: Sequence[WorkloadProgram],
         overheads.append(overhead)
     report.bintuner_overhead_percent = geometric_mean(overheads) * 100.0
     return report
+
+
+def measure_bintuner_sharded(workloads: Sequence[WorkloadProgram],
+                             tuner_iterations: int = 6,
+                             jobs: Optional[int] = None,
+                             run_stats: Optional[ShardRunStats] = None
+                             ) -> BinTunerReport:
+    """Figure 9 through binary-pair shards, bit-identical to the serial loop.
+
+    The merge interleaves each workload's two protection shards back into
+    the serial row order (per opt level: bintuner, then khaos) and
+    aggregates the overhead geomean in workload order.
+    """
+    shards = shard_bintuner_matrix(workloads, tuner_iterations)
+    keys = [bintuner_shard_key(shard) for shard in shards]
+    # with a shared store the opt-level references are fetched, not rebuilt,
+    # so the two protection shards of one workload can land anywhere;
+    # without one, chunk them onto the same worker so its in-memory cache
+    # builds each workload's references once instead of once per shard
+    chunksize = 1 if store_dir_from_env() else 2
+    results = run_checkpointed(_bintuner_shard, shards, keys,
+                               ("fig9", tuple(keys)), jobs=jobs,
+                               chunksize=chunksize, stats=run_stats)
+    return bintuner_report_from_results(workloads, results)

@@ -63,7 +63,8 @@ from ..obs import metrics as obs_metrics
 from ..obs import tracing as obs_tracing
 from ..obs.collect import flush as flush_telemetry
 from ..store.artifact_store import (ArtifactStore, StoreError,
-                                    store_dir_from_env)
+                                    store_dir_from_env, store_from_env,
+                                    store_url_from_env)
 
 Task = TypeVar("Task")
 Result = TypeVar("Result")
@@ -304,18 +305,19 @@ def worker_cache_events() -> Dict[str, int]:
 def _initial_cache() -> VariantCache:
     bound = _worker_cache_bound()
     store: Optional[ArtifactStore] = None
-    store_dir = store_dir_from_env()
-    if store_dir:
+    target = store_url_from_env() or store_dir_from_env()
+    if target:
         try:
-            store = ArtifactStore.attach(store_dir, max_memory_entries=bound)
+            store = store_from_env(max_memory_entries=bound)
         except (StoreError, OSError) as error:
-            # an unusable shared tree must never kill a worker — but it must
-            # not silently cost a full rebuild either
+            # an unusable shared tree (or unreachable store server) must
+            # never kill a worker — but it must not silently cost a full
+            # rebuild either
             obs_metrics.counter(
                 f"{_CACHE_EVENTS_PREFIX}.store_attach_failures")
             logger.warning(
                 "worker cache: cannot attach store %s (%s: %s); "
-                "building storeless", store_dir, type(error).__name__, error)
+                "building storeless", target, type(error).__name__, error)
             store = None
     cache = VariantCache(max_entries=bound, store=store)
     directory = os.environ.get("REPRO_VARIANT_CACHE_DIR")
@@ -349,9 +351,9 @@ def reset_worker_cache() -> None:
 
 
 def rooted_store(cache) -> Optional[ArtifactStore]:
-    """The cache's on-disk artifact store, when it has one."""
+    """The cache's persistent artifact store (local tree or remote), if any."""
     store = getattr(cache, "store", None)
-    return store if store is not None and store.root is not None else None
+    return store if store is not None and store.persistent else None
 
 
 def parallel_matrix(jobs: Optional[int], cache) -> bool:

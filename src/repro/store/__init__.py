@@ -26,7 +26,10 @@ from .artifact_store import (CORRUPT_READ_ERRORS, KIND_BINARY, KIND_DIFF,
                              KIND_FEATURES, KIND_SHARD, KIND_VARIANT,
                              OBJECTS_DIR, QUARANTINE_DIR, STORE_SCHEMA,
                              ArtifactStore, StoreError, canonical_key,
-                             is_store_tree, store_digest, store_dir_from_env)
+                             is_store_tree, store_digest, store_dir_from_env,
+                             store_from_env, store_url_from_env)
+from .backend import (LocalBackend, ObjectRef, RemoteBackend,
+                      RemoteStoreError, StoreBackend)
 from .diff_payloads import diff_pair_key
 from .feature_payloads import features_key, persist_features, warm_features
 from .generation_log import GENERATION_LOG_NAME, GenerationLog
@@ -34,10 +37,13 @@ from .keys import KEY_SCHEMA, config_cache_key, variant_key
 
 __all__ = [
     "ArtifactStore", "StoreError", "GenerationLog", "GENERATION_LOG_NAME",
+    "StoreBackend", "LocalBackend", "RemoteBackend", "RemoteStoreError",
+    "ObjectRef",
     "KIND_VARIANT", "KIND_BINARY", "KIND_FEATURES", "KIND_DIFF", "KIND_SHARD",
     "OBJECTS_DIR", "QUARANTINE_DIR", "CORRUPT_READ_ERRORS",
     "STORE_SCHEMA", "KEY_SCHEMA", "canonical_key",
-    "store_digest", "is_store_tree", "store_dir_from_env", "config_cache_key",
+    "store_digest", "is_store_tree", "store_dir_from_env", "store_from_env",
+    "store_url_from_env", "config_cache_key",
     "variant_key", "diff_pair_key", "features_key", "persist_features",
     "warm_features",
 ]

@@ -43,6 +43,8 @@ from typing import Callable, Dict, List, Optional, Tuple, TypeVar
 from ..faults import active_injector
 from ..obs import metrics as obs_metrics
 from ..obs import tracing as obs_tracing
+from .backend import (OBJECTS_DIR, QUARANTINE_DIR, LocalBackend,
+                      RemoteBackend, RemoteStoreError, StoreBackend)
 from .generation_log import GenerationLog
 from .keys import KEY_SCHEMA as _KEY_SCHEMA
 
@@ -66,14 +68,6 @@ KIND_DIFF = "diff"
 #: Completed shard-unit results journaled by the checkpoint layer (PR 8):
 #: a resumed matrix run loads these instead of re-executing the shard.
 KIND_SHARD = "shard"
-
-#: Subdirectory holding the content-addressed object files.
-OBJECTS_DIR = "objects"
-
-#: Subdirectory corrupt objects are moved into (with a reason record) by the
-#: read path, so damage is preserved for diagnosis instead of silently
-#: re-missed — and so the next lookup rebuilds into a clean slot.
-QUARANTINE_DIR = "quarantine"
 
 #: The concrete exception classes a damaged object file can raise on read:
 #: I/O failures, torn/truncated pickles, and unpickling payloads whose
@@ -132,6 +126,36 @@ def store_dir_from_env(environ=os.environ) -> Optional[str]:
     return None
 
 
+def store_url_from_env(environ=os.environ) -> Optional[str]:
+    """The remote store server URL (``REPRO_STORE_URL``), if any."""
+    url = environ.get("REPRO_STORE_URL", "").strip()
+    return url or None
+
+
+def store_from_env(max_memory_entries: Optional[int] = None,
+                   environ=os.environ) -> Optional["ArtifactStore"]:
+    """The store the environment selects, or ``None`` for storeless runs.
+
+    ``REPRO_STORE_URL`` wins (remote backend, with
+    ``REPRO_STORE_CACHE_DIR`` as its optional read-through cache tier);
+    otherwise ``REPRO_STORE_DIR`` (local tree); otherwise ``None``.
+    Raises :class:`StoreError` on schema mismatch and
+    :class:`~repro.store.backend.RemoteStoreError` (an ``OSError``) on an
+    unreachable server — callers that must degrade (the executor's worker
+    attach) catch both.
+    """
+    url = store_url_from_env(environ)
+    if url:
+        return ArtifactStore.connect(
+            url, max_memory_entries=max_memory_entries,
+            cache_dir=environ.get("REPRO_STORE_CACHE_DIR", "").strip() or None)
+    root = store_dir_from_env(environ)
+    if root:
+        return ArtifactStore.attach(root,
+                                    max_memory_entries=max_memory_entries)
+    return None
+
+
 class StoreError(ValueError):
     """An on-disk tree that cannot be used (schema mismatch, damaged manifest)."""
 
@@ -145,9 +169,14 @@ class ArtifactStore:
     """
 
     def __init__(self, root: Optional[str] = None,
-                 max_memory_entries: Optional[int] = None):
+                 max_memory_entries: Optional[int] = None,
+                 backend: Optional[StoreBackend] = None,
+                 url: Optional[str] = None,
+                 cache_dir: Optional[str] = None):
         if max_memory_entries is not None and max_memory_entries <= 0:
             raise ValueError("max_memory_entries must be positive or None")
+        if sum(1 for given in (root, backend, url) if given) > 1:
+            raise ValueError("give at most one of root, backend, url")
         self.root = os.path.abspath(root) if root else None
         self.max_memory_entries = max_memory_entries
         self._memory: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
@@ -160,7 +189,20 @@ class ArtifactStore:
         #: lands in :data:`repro.obs.metrics.REGISTRY` for telemetry.
         self.metrics = obs_metrics.MetricsRegistry(parent=obs_metrics.REGISTRY)
         self._log: Optional[GenerationLog] = None
-        if self.root is not None:
+        self._backend: Optional[StoreBackend] = None
+        if url:
+            backend = RemoteBackend(url, cache_dir=cache_dir)
+        if backend is not None:
+            self._backend = backend
+            backend.bind_metrics(self.metrics)
+            if isinstance(backend, LocalBackend):
+                self.root = backend.root
+                self._attach_tree()
+            else:
+                self._attach_remote()
+        elif self.root is not None:
+            self._backend = LocalBackend(self.root)
+            self._backend.bind_metrics(self.metrics)
             self._attach_tree()
 
     # -- attach / validation -----------------------------------------------------
@@ -174,6 +216,18 @@ class ArtifactStore:
         incompatible pipeline — a stale tree must never serve artifacts.
         """
         return cls(root=root, max_memory_entries=max_memory_entries)
+
+    @classmethod
+    def connect(cls, url: str, max_memory_entries: Optional[int] = None,
+                cache_dir: Optional[str] = None) -> "ArtifactStore":
+        """Attach to a remote store server (``scripts/store_server.py``).
+
+        Validates the server's schema stamps exactly like a local attach
+        validates ``generation.json`` — :class:`StoreError` on mismatch,
+        :class:`~repro.store.backend.RemoteStoreError` when unreachable.
+        """
+        return cls(url=url, max_memory_entries=max_memory_entries,
+                   cache_dir=cache_dir)
 
     def _attach_tree(self) -> None:
         assert self.root is not None
@@ -194,27 +248,66 @@ class ArtifactStore:
                 f"this pipeline needs {STORE_SCHEMA}/{_KEY_SCHEMA}")
         self._log = log
 
+    def _attach_remote(self) -> None:
+        assert self._backend is not None
+        manifest = self._backend.manifest()
+        self._remote_manifest = manifest
+        if (manifest.get("store_schema") != STORE_SCHEMA
+                or manifest.get("key_schema") != _KEY_SCHEMA):
+            raise StoreError(
+                f"incompatible remote store at {self._backend.describe()}: "
+                f"server has store_schema={manifest.get('store_schema')} "
+                f"key_schema={manifest.get('key_schema')}, this pipeline "
+                f"needs {STORE_SCHEMA}/{_KEY_SCHEMA}")
+        # the ledger lives (and is appended) server-side; self._log stays
+        # None and warm_entries() reports the manifest's advertised count
+
     @property
     def generation_log(self) -> Optional[GenerationLog]:
         return self._log
 
+    @property
+    def backend(self) -> Optional[StoreBackend]:
+        return self._backend
+
+    @property
+    def persistent(self) -> bool:
+        """Does this store outlive the process (local tree or remote)?"""
+        return self._backend is not None
+
+    @property
+    def url(self) -> Optional[str]:
+        backend = self._backend
+        return backend.url if isinstance(backend, RemoteBackend) else None
+
     def warm_entries(self, kind: Optional[str] = None) -> int:
-        """Entries the manifest advertises — the cheap warm-start signal."""
-        return self._log.count(kind) if self._log is not None else 0
+        """Entries the manifest advertises — the cheap warm-start signal.
+
+        For a remote store this is the count the server advertised at
+        attach time (per-kind breakdown comes from the same snapshot)."""
+        if self._log is not None:
+            return self._log.count(kind)
+        manifest = getattr(self, "_remote_manifest", None)
+        if manifest is not None:
+            entries = manifest.get("entries")
+            if kind is None:
+                return int(entries) if isinstance(entries, int) else 0
+            kinds = manifest.get("kinds")
+            if isinstance(kinds, dict):
+                return int(kinds.get(kind, 0))
+        return 0
 
     # -- paths -------------------------------------------------------------------
 
     def object_path(self, kind: str, digest: str) -> str:
-        if self.root is None:
-            raise ValueError("in-memory store has no object paths")
-        return os.path.join(self.root, OBJECTS_DIR, kind, digest[:2],
-                            f"{digest}.pkl")
+        if not isinstance(self._backend, LocalBackend):
+            raise ValueError("store has no local object paths")
+        return self._backend.object_path(kind, digest)
 
     def quarantine_path(self, kind: str, digest: str) -> str:
-        if self.root is None:
-            raise ValueError("in-memory store has no quarantine")
-        return os.path.join(self.root, QUARANTINE_DIR, kind,
-                            f"{digest}.pkl")
+        if not isinstance(self._backend, LocalBackend):
+            raise ValueError("store has no local quarantine")
+        return self._backend.quarantine_path(kind, digest)
 
     # -- the lookup protocol -----------------------------------------------------
 
@@ -281,24 +374,55 @@ class ArtifactStore:
         digest = store_digest(kind, key)
         if (kind, digest) in self._memory:
             return True
-        if self.root is None:
+        if self._backend is None:
             return False
-        return os.path.exists(self.object_path(kind, digest))
+        return self._backend.contains(kind, digest)
 
     def entry_count(self, kind: str) -> int:
         """Distinct artifacts of ``kind`` reachable through this store."""
         digests = {digest for (k, digest) in self._memory if k == kind}
-        if self.root is not None:
-            kind_dir = os.path.join(self.root, OBJECTS_DIR, kind)
-            if os.path.isdir(kind_dir):
-                for shard in os.listdir(kind_dir):
-                    shard_dir = os.path.join(kind_dir, shard)
-                    if not os.path.isdir(shard_dir):
-                        continue
-                    for name in os.listdir(shard_dir):
-                        if name.endswith(".pkl"):
-                            digests.add(name[:-len(".pkl")])
+        if self._backend is not None:
+            digests.update(digest for _, digest
+                           in self._backend.list_refs(kind))
         return len(digests)
+
+    def prefetch(self, kind: str, keys: List[object]) -> int:
+        """Batch-fetch objects of ``kind`` into the memory layer.
+
+        Only meaningful on batched (remote) backends — one coalesced
+        round trip instead of N; a no-op otherwise, so callers sprinkle
+        it without changing local-path behaviour or counters.  Returns
+        the number of objects loaded.  Prefetching is an optimisation:
+        an exhausted retry budget degrades to the per-object path (which
+        raises if the server is really gone) instead of failing here.
+        """
+        backend = self._backend
+        if backend is None or not backend.batched:
+            return 0
+        wanted: Dict[Tuple[str, str], object] = {}
+        for key in keys:
+            digest = store_digest(kind, key)
+            if (kind, digest) not in self._memory:
+                wanted[(kind, digest)] = key
+        if not wanted:
+            return 0
+        try:
+            with obs_tracing.span("store.prefetch", cat="store.remote",
+                                  kind=kind, count=len(wanted)):
+                blobs = backend.get_many(list(wanted))
+        except RemoteStoreError:
+            return 0  # every failed attempt is already counted per-cause
+        loaded = 0
+        for (ref_kind, ref_digest), data in blobs.items():
+            payload = self._decode_envelope(ref_kind, ref_digest,
+                                            wanted[(ref_kind, ref_digest)],
+                                            data)
+            if payload is not _MISSING:
+                self._remember((ref_kind, ref_digest),
+                               wanted[(ref_kind, ref_digest)], payload)
+                loaded += 1
+        self.metrics.counter("store.prefetched", loaded)
+        return loaded
 
     def keys(self, kind: str) -> List[object]:
         """The keys of ``kind`` held in the memory layer, LRU order."""
@@ -342,22 +466,37 @@ class ArtifactStore:
     # -- disk layer --------------------------------------------------------------
 
     def _read_object(self, kind: str, digest: str, key: object) -> object:
-        if self.root is None:
+        if self._backend is None:
             return _MISSING
-        path = self.object_path(kind, digest)
         try:
             with obs_tracing.span("store.read", cat="store", kind=kind):
-                with open(path, "rb") as fh:
-                    size = os.fstat(fh.fileno()).st_size
-                    envelope = pickle.load(fh)
-                self.metrics.counter("store.bytes_read", size)
-        except FileNotFoundError:
+                data = self._backend.get(kind, digest)
+        except RemoteStoreError:
+            # every failed attempt was counted per-cause by the backend
+            # (``store.remote_errors.*``); a dead or misbehaving server is
+            # an error the caller must see, never a warm tree reading cold
+            raise
+        except CORRUPT_READ_ERRORS as error:
+            self._quarantine(kind, digest,
+                             f"{type(error).__name__}: {error}",
+                             cause=type(error).__name__)
             return _MISSING
+        if data is None:
+            return _MISSING
+        self.metrics.counter("store.bytes_read", len(data))
+        return self._decode_envelope(kind, digest, key, data)
+
+    def _decode_envelope(self, kind: str, digest: str, key: object,
+                         data: bytes) -> object:
+        """Unpickle + validate one serialized envelope; quarantines and
+        returns :data:`_MISSING` on damage (shared by read and prefetch)."""
+        try:
+            envelope = pickle.loads(data)
         except CORRUPT_READ_ERRORS as error:
             # a damaged object is *evidence*, not just a miss: move it to
             # quarantine/ with the cause, count it, and let the caller
             # rebuild into the now-clean slot (builds are deterministic)
-            self._quarantine(kind, digest, path,
+            self._quarantine(kind, digest,
                              f"{type(error).__name__}: {error}",
                              cause=type(error).__name__)
             return _MISSING
@@ -367,13 +506,13 @@ class ArtifactStore:
                 or envelope.get("kind") != kind
                 or envelope.get("key") != key
                 or "payload" not in envelope):
-            self._quarantine(kind, digest, path,
+            self._quarantine(kind, digest,
                              "envelope failed schema/kind/key validation",
                              cause="envelope_mismatch")
             return _MISSING
         return envelope["payload"]
 
-    def _quarantine(self, kind: str, digest: str, path: str, reason: str,
+    def _quarantine(self, kind: str, digest: str, reason: str,
                     cause: str) -> None:
         """Move a corrupt object aside with a reason record.
 
@@ -385,35 +524,23 @@ class ArtifactStore:
         self.metrics.counter(f"store.corrupt_reads.{cause}")
         obs_tracing.event("store.quarantine", cat="store", kind=kind,
                           digest=digest[:12], cause=cause)
-        if self.root is None:
+        if self._backend is None:
             return
-        destination = self.quarantine_path(kind, digest)
         record = {"kind": kind, "digest": digest, "reason": reason,
                   "cause": cause, "pid": os.getpid(),
                   "quarantined_at": time.time()}
-        try:
-            os.makedirs(os.path.dirname(destination), exist_ok=True)
-            os.replace(path, destination)
-            tmp = f"{destination}.reason.tmp.{os.getpid()}"
-            with open(tmp, "w", encoding="utf-8") as fh:
-                json.dump(record, fh, sort_keys=True)
-            os.replace(tmp, f"{destination[:-len('.pkl')]}.reason.json")
-        except OSError:
-            return
-        self.metrics.counter("store.quarantined")
+        if self._backend.quarantine(kind, digest, record):
+            self.metrics.counter("store.quarantined")
 
     def _write_object(self, kind: str, digest: str, key: object,
                       payload: object, overwrite: bool = False) -> None:
-        if self.root is None:
+        if self._backend is None:
             return
-        path = self.object_path(kind, digest)
-        if not overwrite and os.path.exists(path):
-            return  # first-writer-kept
         envelope = {"store_schema": STORE_SCHEMA, "key_schema": _KEY_SCHEMA,
                     "kind": kind, "key": key, "payload": payload}
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        tmp_path = f"{path}.tmp.{os.getpid()}"
         try:
+            if not overwrite and self._backend.contains(kind, digest):
+                return  # first-writer-kept (the backend re-checks under race)
             with obs_tracing.span("store.write", cat="store", kind=kind):
                 data = pickle.dumps(envelope,
                                     protocol=pickle.HIGHEST_PROTOCOL)
@@ -423,18 +550,18 @@ class ArtifactStore:
                     # bytes on their way to disk, at most once per object
                     # per process
                     data = injector.corrupt_payload(f"{kind}:{digest}", data)
-                with open(tmp_path, "wb") as fh:
-                    fh.write(data)
-                os.replace(tmp_path, path)
-        except (OSError, pickle.PicklingError, TypeError,
-                AttributeError):
+                written = self._backend.put(kind, digest, data,
+                                            overwrite=overwrite)
+        except (RemoteStoreError, OSError, pickle.PicklingError, TypeError,
+                AttributeError) as error:
             # persistence is an optimisation; never fail the build for an
-            # unwritable tree or an unpicklable payload
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
+            # unwritable tree, an unreachable server or an unpicklable
+            # payload — but never silently either
+            self.metrics.counter(
+                f"store.put_failures.{type(error).__name__}")
             return
+        if not written:
+            return  # a racing writer got there first; its copy is kept
         self.metrics.counter("store.puts")
         self.metrics.counter("store.bytes_written", len(data))
         if self._log is not None:
@@ -482,6 +609,17 @@ class ArtifactStore:
                 in self.metrics.prefixed("store.corrupt_reads").items()}
 
     @property
+    def remote_errors(self) -> Dict[str, int]:
+        """Failed remote-store request attempts by cause — HTTP status
+        (``"http_503"``), transport exception class
+        (``"ConnectionResetError"``, ``"TimeoutError"``) or
+        ``"_ChecksumMismatch"`` for transport-integrity failures.  Every
+        attempt counts, including the ones a retry then recovered — a
+        flaky server is visible even when the run succeeds."""
+        return {cause: int(count) for cause, count
+                in self.metrics.prefixed("store.remote_errors").items()}
+
+    @property
     def hits(self) -> int:
         return self.memory_hits + self.disk_hits
 
@@ -493,6 +631,8 @@ class ArtifactStore:
     def stats(self) -> Dict[str, object]:
         return {
             "root": self.root,
+            "backend": (self._backend.describe()
+                        if self._backend is not None else "memory"),
             "memory_entries": len(self._memory),
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
@@ -501,6 +641,7 @@ class ArtifactStore:
             "hit_rate": round(self.hit_rate, 4),
             "corrupt_reads": dict(self.corrupt_reads),
             "quarantined": self.quarantined,
+            "remote_errors": dict(self.remote_errors),
         }
 
 

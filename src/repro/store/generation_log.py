@@ -25,6 +25,8 @@ import json
 import os
 from typing import Dict, Optional
 
+from .backend import fsync_directory
+
 #: File name of the schema-stamp manifest at the store root.
 GENERATION_LOG_NAME = "generation.json"
 
@@ -101,7 +103,8 @@ class GenerationLog:
             digest = entry.get("digest") if isinstance(entry, dict) else None
             if isinstance(digest, str):
                 self.entries[digest] = {"kind": entry.get("kind"),
-                                        "note": entry.get("note", "")}
+                                        "note": entry.get("note", ""),
+                                        "gen": entry.get("gen")}
 
     def save(self, root: str) -> None:
         """Write the schema stamps atomically (entries live in the ledger)."""
@@ -127,6 +130,9 @@ class GenerationLog:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp_path, path)
+        # ...and make the rename itself durable: an fsynced file behind a
+        # lost directory entry is still a lost manifest
+        fsync_directory(os.path.dirname(path) or ".")
 
     # -- validation --------------------------------------------------------------
 
@@ -134,15 +140,23 @@ class GenerationLog:
         return (self.store_schema == other.store_schema
                 and self.key_schema == other.key_schema)
 
-    def record(self, digest: str, kind: str, note: str = "") -> None:
+    def record(self, digest: str, kind: str, note: str = "",
+               gen: Optional[int] = None) -> None:
         """Record an entry in memory only (see :meth:`append_entry`)."""
-        self.entries[digest] = {"kind": kind, "note": note}
+        self.entries[digest] = {"kind": kind, "note": note,
+                                "gen": self.generation if gen is None
+                                else gen}
 
     def append_entry(self, root: str, digest: str, kind: str,
                      note: str = "") -> None:
-        """Record an entry and append one ledger line — O(1) per artifact."""
+        """Record an entry and append one ledger line — O(1) per artifact.
+
+        Each line is stamped with the tree generation that wrote it, the
+        signal ``scripts/gc_store.py --keep-generations`` sweeps by.
+        """
         self.record(digest, kind, note)
-        line = json.dumps({"digest": digest, "kind": kind, "note": note},
+        line = json.dumps({"digest": digest, "kind": kind, "note": note,
+                           "gen": self.generation},
                           sort_keys=True) + "\n"
         fd = os.open(self.entries_path_for(root),
                      os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
@@ -168,10 +182,12 @@ class GenerationLog:
                 entry = self.entries[digest]
                 fh.write(json.dumps(
                     {"digest": digest, "kind": entry.get("kind"),
-                     "note": entry.get("note", "")}, sort_keys=True) + "\n")
+                     "note": entry.get("note", ""),
+                     "gen": entry.get("gen")}, sort_keys=True) + "\n")
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp_path, path)
+        fsync_directory(os.path.dirname(path) or ".")
 
     def count(self, kind: Optional[str] = None) -> int:
         if kind is None:

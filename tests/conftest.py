@@ -23,6 +23,9 @@ def tmp_store(tmp_path, monkeypatch):
     root = str(tmp_path / "store")
     monkeypatch.setenv("REPRO_STORE_DIR", root)
     monkeypatch.delenv("REPRO_VARIANT_CACHE_DIR", raising=False)
+    # a leaked server URL would silently win over the local tree
+    monkeypatch.delenv("REPRO_STORE_URL", raising=False)
+    monkeypatch.delenv("REPRO_STORE_CACHE_DIR", raising=False)
     reset_worker_cache()
     yield root
     reset_worker_cache()
